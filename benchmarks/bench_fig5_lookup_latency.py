@@ -1,0 +1,60 @@
+"""Figure 5: lookup latency — Chord (transitive, recursive) vs. Verme.
+
+Prints the mean lookup latency per (system, mean node lifetime) cell,
+plus the §7.1.2 text metrics (failure rate, maintenance bandwidth).
+
+Paper shape to reproduce: transitive Chord ~35% below Verme; recursive
+Chord ~ Verme; flat across lifetimes.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.experiments import Fig5Config, run_cell
+from repro.experiments.fig5_lookup_latency import SYSTEMS
+
+BENCH_CFG = Fig5Config(num_nodes=150, duration_s=1200.0, warmup_s=120.0,
+                       mean_lifetimes_s=(1800.0, 28800.0))
+
+_rows = []
+
+
+@pytest.mark.parametrize("lifetime", BENCH_CFG.mean_lifetimes_s)
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_fig5_cell(benchmark, system, lifetime, paper_scale):
+    cfg = BENCH_CFG.paper_scale() if paper_scale else BENCH_CFG
+    row = benchmark.pedantic(
+        run_cell, args=(cfg, system, lifetime), rounds=1, iterations=1
+    )
+    assert row.lookups > 0
+    assert row.failure_rate < 0.1
+    _rows.append(row)
+
+
+def test_fig5_report_and_shape(benchmark):
+    """Render the figure's rows and check the paper's ordering."""
+    benchmark.pedantic(_report, rounds=1, iterations=1)
+
+
+def _report():
+    assert _rows, "cells must run first"
+    table = format_table(
+        ["system", "lifetime_s", "mean_lat_s", "median_lat_s", "hops",
+         "fail_rate", "lookups", "maint_B/node/s"],
+        [
+            [r.system, r.mean_lifetime_s, round(r.mean_latency_s, 4),
+             round(r.median_latency_s, 4), round(r.mean_hops, 2),
+             round(r.failure_rate, 4), r.lookups,
+             round(r.maintenance_bytes_per_node_s, 1)]
+            for r in _rows
+        ],
+    )
+    print("\n=== Figure 5: lookup latency (paper: transitive ~35% below "
+          "Verme; recursive Chord ~ Verme) ===")
+    print(table)
+    by_system = {}
+    for r in _rows:
+        by_system.setdefault(r.system, []).append(r.mean_latency_s)
+    mean = {s: sum(v) / len(v) for s, v in by_system.items()}
+    assert mean["chord-transitive"] < mean["verme"]
+    assert abs(mean["chord-recursive"] - mean["verme"]) / mean["verme"] < 0.30

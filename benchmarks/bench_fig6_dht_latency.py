@@ -1,0 +1,55 @@
+"""Figure 6: DHT get/put latency — DHash vs. the three VerDi variants.
+
+Paper shape to reproduce (gets): Fast ~ DHash < Compromise (up to ~31%
+over DHash) < Secure.  Puts: every VerDi variant pays extra over DHash
+(the synchronous cross-type copy / per-hop transfers), with Secure and
+Compromise at the top.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.experiments import DhtExperimentConfig, run_dht_cell
+from repro.experiments.dht_ops import DHT_SYSTEMS
+
+BENCH_CFG = DhtExperimentConfig(
+    num_nodes=400, num_sections=32, num_puts=30, num_gets=30
+)
+
+_results = {}
+
+
+@pytest.mark.parametrize("system", list(DHT_SYSTEMS))
+def test_fig6_cell(benchmark, system, paper_scale):
+    cfg = BENCH_CFG.paper_scale() if paper_scale else BENCH_CFG
+    res = benchmark.pedantic(run_dht_cell, args=(cfg, system), rounds=1, iterations=1)
+    assert res.get_stats.successes > 0
+    assert res.put_stats.successes > 0
+    _results[system] = res
+
+
+def test_fig6_report_and_shape(benchmark):
+    benchmark.pedantic(_report, rounds=1, iterations=1)
+
+
+def _report():
+    assert len(_results) == len(DHT_SYSTEMS), "cells must run first"
+    rows = []
+    for system, res in _results.items():
+        for op, stats in (("get", res.get_stats), ("put", res.put_stats)):
+            s = stats.latency_summary()
+            rows.append([system, op, round(s.mean, 3), round(s.median, 3),
+                         stats.successes, stats.failures])
+    print("\n=== Figure 6: DHT operation latency (paper: get Fast~DHash < "
+          "Compromise <= +31% < Secure; puts pay the cross-type copy) ===")
+    print(format_table(
+        ["system", "op", "mean_lat_s", "median_lat_s", "ops", "fails"], rows
+    ))
+    get = {s: r.get_stats.latency_summary().mean for s, r in _results.items()}
+    put = {s: r.put_stats.latency_summary().mean for s, r in _results.items()}
+    # Gets: Fast ~ DHash, Secure the most expensive.
+    assert abs(get["fast-verdi"] - get["dhash"]) / get["dhash"] < 0.35
+    assert get["secure-verdi"] == max(get.values())
+    assert get["compromise-verdi"] > min(get["dhash"], get["fast-verdi"])
+    # Puts: DHash cheapest.
+    assert put["dhash"] == min(put.values())

@@ -1,0 +1,52 @@
+"""Figure 7: DHT get/put bandwidth — bytes per operation.
+
+Paper shape to reproduce: DHash ~ Fast on gets; Compromise roughly
+doubles get bandwidth; Secure pays a data transfer per lookup hop;
+Fast/Compromise puts add one extra cross-type copy.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.experiments import DhtExperimentConfig, run_dht_cell
+from repro.experiments.dht_ops import DHT_SYSTEMS
+
+BENCH_CFG = DhtExperimentConfig(
+    num_nodes=400, num_sections=32, num_puts=30, num_gets=30, seed=77
+)
+
+_results = {}
+
+
+@pytest.mark.parametrize("system", list(DHT_SYSTEMS))
+def test_fig7_cell(benchmark, system, paper_scale):
+    cfg = BENCH_CFG.paper_scale() if paper_scale else BENCH_CFG
+    res = benchmark.pedantic(run_dht_cell, args=(cfg, system), rounds=1, iterations=1)
+    assert res.get_stats.successes > 0
+    _results[system] = res
+
+
+def test_fig7_report_and_shape(benchmark):
+    benchmark.pedantic(_report, rounds=1, iterations=1)
+
+
+def _report():
+    assert len(_results) == len(DHT_SYSTEMS), "cells must run first"
+    rows = []
+    for system, res in _results.items():
+        for op, stats in (("get", res.get_stats), ("put", res.put_stats)):
+            s = stats.bytes_summary()
+            rows.append([system, op, round(s.mean / 1024, 1),
+                         round(s.median / 1024, 1), stats.successes])
+    print("\n=== Figure 7: DHT operation bandwidth, KiB/op (paper: "
+          "DHash~Fast; Compromise ~2x gets; Secure per-hop transfers; "
+          "VerDi puts pay an extra copy) ===")
+    print(format_table(["system", "op", "mean_KiB", "median_KiB", "ops"], rows))
+    get = {s: r.get_stats.bytes_summary().mean for s, r in _results.items()}
+    put = {s: r.put_stats.bytes_summary().mean for s, r in _results.items()}
+    assert get["fast-verdi"] < 1.35 * get["dhash"]
+    assert get["compromise-verdi"] > 1.4 * get["dhash"]
+    assert get["secure-verdi"] == max(get.values())
+    assert put["fast-verdi"] > 1.5 * put["dhash"]
+    assert put["compromise-verdi"] > put["fast-verdi"]
+    assert put["secure-verdi"] > 2.0 * put["dhash"]

@@ -1,0 +1,79 @@
+"""Figure 8: simulated worm propagation speeds — the headline result.
+
+Paper values at full scale (100k nodes, 4096 sections): Chord infects
+everything in ~32 s; Verme stays inside one ~24-node section;
+Secure-VerDi + impersonator reaches ~352 nodes; Fast-VerDi needs ~160 s
+and Compromise-VerDi ~1600 s to infect half the vulnerable population.
+At this benchmark's reduced scale the *ordering* and the ~10x
+Fast-vs-Compromise gap still reproduce; EXPERIMENTS.md records our
+full-scale numbers (142 s / 1400 s / 28 / 288).
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.experiments import Fig8Config
+from repro.experiments.fig8_worm_propagation import run_fig8_scenario
+from repro.worm import SCENARIOS, WormScenarioConfig
+
+BENCH_CFG = Fig8Config(
+    scenario_config=WormScenarioConfig(num_nodes=4000, num_sections=256, seed=13),
+    runs=2,
+    horizons={
+        "chord": 120.0,
+        "verme": 120.0,
+        "verme-secure": 120.0,
+        "verme-fast": 2000.0,
+        "verme-compromise": 20000.0,
+    },
+)
+
+_rows = {}
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_fig8_scenario(benchmark, scenario, paper_scale):
+    cfg = BENCH_CFG.paper_scale() if paper_scale else BENCH_CFG
+    row, _curves = benchmark.pedantic(
+        run_fig8_scenario, args=(cfg, scenario), rounds=1, iterations=1
+    )
+    _rows[scenario] = row
+
+
+def test_fig8_report_and_shape(benchmark):
+    benchmark.pedantic(_report, rounds=1, iterations=1)
+
+
+def _report():
+    assert len(_rows) == len(SCENARIOS), "scenarios must run first"
+    table = format_table(
+        ["scenario", "population", "vulnerable", "final_infected",
+         "t10%_s", "t50%_s", "t95%_s"],
+        [
+            [r.scenario, r.population, r.vulnerable, r.final_infected,
+             None if r.time_to_10pct_s is None else round(r.time_to_10pct_s, 1),
+             None if r.time_to_50pct_s is None else round(r.time_to_50pct_s, 1),
+             None if r.time_to_95pct_s is None else round(r.time_to_95pct_s, 1)]
+            for r in _rows.values()
+        ],
+    )
+    print("\n=== Figure 8: worm propagation (paper @100k: chord ~32s total; "
+          "verme 1 section; secure ~352 nodes; fast t50 ~160s; "
+          "compromise t50 ~1600s) ===")
+    print(table)
+    chord, verme = _rows["chord"], _rows["verme"]
+    secure = _rows["verme-secure"]
+    fast, comp = _rows["verme-fast"], _rows["verme-compromise"]
+    # Chord sweeps the vulnerable population quickly.
+    assert chord.final_infected >= 0.95 * chord.vulnerable
+    assert chord.time_to_95pct_s is not None and chord.time_to_95pct_s < 60
+    # Verme contains to ~one section.
+    section_avg = verme.population / BENCH_CFG.scenario_config.num_sections
+    assert verme.final_infected <= 3 * section_avg
+    # Secure-VerDi impersonation: logarithmic number of sections.
+    assert verme.final_infected < secure.final_infected
+    assert secure.final_infected < 0.15 * secure.vulnerable
+    # Fast and Compromise eventually spread, Compromise ~an order slower.
+    assert fast.time_to_95pct_s is not None
+    assert comp.time_to_95pct_s is not None
+    assert comp.time_to_95pct_s > 3 * fast.time_to_95pct_s

@@ -1,0 +1,22 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one paper table/figure at a reduced scale
+(see DESIGN.md §3 for the full-scale parameters) and prints the same
+rows the paper plots.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_PAPER_SCALE=1`` to run the full paper-scale configurations
+(minutes to hours, see EXPERIMENTS.md for recorded results).
+"""
+
+import os
+
+import pytest
+
+PAPER_SCALE = bool(int(os.environ.get("REPRO_PAPER_SCALE", "0")))
+
+
+@pytest.fixture(scope="session")
+def paper_scale() -> bool:
+    return PAPER_SCALE

@@ -1,0 +1,45 @@
+"""Worm containment on an *unstructured* overlay (paper §6.2).
+
+Run:  python examples/tracker_containment.py
+
+The paper argues its design principles generalise beyond DHTs: a
+worm-immune BitTorrent-style tracker can assign neighbours so the
+overlay graph forms the same type-islands as Verme's ring sections.
+This script builds two swarms from the same peer population — one with
+the containment-aware tracker, one with a conventional random-neighbour
+tracker — releases the same worm in both, and prints the outcome.
+"""
+
+from repro.analysis.tables import format_table
+from repro.unstructured import TrackerConfig, build_swarm, run_swarm_worm
+
+
+def main():
+    config = TrackerConfig(
+        island_size=24, same_island_neighbors=6, cross_type_neighbors=6
+    )
+    rows = []
+    for label, containment in (("containment tracker", True),
+                               ("conventional tracker", False)):
+        swarm = build_swarm(2000, config, seed=11, containment=containment)
+        result = run_swarm_worm(swarm, until=300.0, seed=11)
+        rows.append([
+            label,
+            len(swarm.peers),
+            result.vulnerable_count,
+            result.infected,
+            f"{result.containment_fraction:.1%}",
+        ])
+    print(format_table(
+        ["tracker policy", "peers", "vulnerable", "infected", "fraction"],
+        rows,
+    ))
+    print(
+        "\nThe same worm, the same peers: with island-aware neighbour "
+        "assignment it dies inside one ~24-peer island; with conventional "
+        "random assignment it sweeps the vulnerable population."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Worm containment demo: the paper's Figure 8 at desk scale.
+
+Run:  python examples/worm_containment.py [--nodes N] [--sections S]
+
+Simulates the same topological worm on five configurations — plain
+Chord, Verme, and Verme with an impersonating node under the three
+VerDi designs — and prints the infection curves as a table plus an
+ASCII plot on a logarithmic time axis, mirroring the paper's figure.
+"""
+
+import argparse
+
+from repro.analysis.asciiplot import strip_chart
+from repro.analysis.curves import log_time_grid, resample
+from repro.analysis.tables import format_table
+from repro.worm import SCENARIOS, WormScenarioConfig, run_scenario
+
+HORIZONS = {
+    "chord": 120.0,
+    "verme": 120.0,
+    "verme-secure": 120.0,
+    "verme-fast": 2000.0,
+    "verme-compromise": 20000.0,
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=4000)
+    parser.add_argument("--sections", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    cfg = WormScenarioConfig(
+        num_nodes=args.nodes, num_sections=args.sections, seed=args.seed
+    )
+    print(
+        f"Population {cfg.num_nodes}, {cfg.num_sections} sections, half the "
+        f"machines (one whole type) vulnerable; worm: 100 scans/s, "
+        f"100 ms infect, 1 s activation.\n"
+    )
+
+    results = {}
+    for name in SCENARIOS:
+        results[name] = run_scenario(name, cfg, until=HORIZONS[name])
+
+    rows = []
+    for name, r in results.items():
+        rows.append(
+            [
+                name,
+                r.vulnerable_count,
+                r.final_infected,
+                _fmt(r.time_to_fraction(0.10)),
+                _fmt(r.time_to_fraction(0.50)),
+                _fmt(r.time_to_fraction(0.95)),
+            ]
+        )
+    print(
+        format_table(
+            ["scenario", "vulnerable", "infected", "t10%", "t50%", "t95%"], rows
+        )
+    )
+
+    grid = log_time_grid(0.1, max(HORIZONS.values()), 72)
+    print("\nInfected machines over time (log time axis, like the paper's "
+          "Fig. 8):")
+    series = {
+        name: list(zip(grid, (float(v) for v in resample(r.curve, grid))))
+        for name, r in results.items()
+    }
+    print(strip_chart(series))
+    print(
+        "\nReading: Chord saturates almost immediately; Verme stays flat "
+        "(one island); Secure-VerDi barely rises (log-many islands); "
+        "Fast-VerDi climbs ~10x faster than Compromise-VerDi."
+    )
+
+
+def _fmt(v):
+    return None if v is None else round(v, 1)
+
+
+if __name__ == "__main__":
+    main()

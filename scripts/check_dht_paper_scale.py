@@ -1,0 +1,19 @@
+"""Paper-scale Fig. 6/7 check: 1740 nodes, 128 sections (paper §7.2)."""
+import time
+
+from repro.experiments import DhtExperimentConfig, run_dht_cell
+
+cfg = DhtExperimentConfig(
+    num_nodes=1740, num_sections=128, num_puts=60, num_gets=60, seed=5
+)
+print(f"{'system':18s} {'get lat':>8s} {'put lat':>8s} {'get KB':>8s} {'put KB':>8s} fails")
+for system in ("dhash", "fast-verdi", "secure-verdi", "compromise-verdi"):
+    t0 = time.time()
+    res = run_dht_cell(cfg, system)
+    g, p = res.get_stats, res.put_stats
+    print(
+        f"{system:18s} {g.latency_summary().mean:8.3f} {p.latency_summary().mean:8.3f} "
+        f"{g.bytes_summary().mean/1024:8.1f} {p.bytes_summary().mean/1024:8.1f} "
+        f"{g.failures}+{p.failures}  ({time.time()-t0:.1f}s)",
+        flush=True,
+    )

@@ -1,0 +1,24 @@
+"""Paper-scale Fig. 8 check: 100k nodes, 4096 sections (paper §7.3)."""
+import time
+
+from repro.worm import WormScenarioConfig, run_scenario
+
+cfg = WormScenarioConfig(seed=11).with_paper_scale()
+for name, until in [
+    ("chord", 600),
+    ("verme", 600),
+    ("verme-secure", 600),
+    ("verme-fast", 4000),
+    ("verme-compromise", 40000),
+]:
+    t0 = time.time()
+    r = run_scenario(name, cfg, until=until)
+    t50 = r.time_to_fraction(0.5)
+    t95 = r.time_to_fraction(0.95)
+    print(
+        f"{name:18s} infected={r.final_infected:6d}/{r.vulnerable_count}"
+        f" t50={None if t50 is None else round(t50, 1)}"
+        f" t95={None if t95 is None else round(t95, 1)}"
+        f" wall={time.time() - t0:.1f}s",
+        flush=True,
+    )

@@ -1,0 +1,33 @@
+"""Statistics, infection curves, and table rendering."""
+
+from .asciiplot import sparkline, strip_chart
+from .export import write_rows_csv, write_series_csv
+from .curves import average_curves, log_time_grid, resample
+from .load import LoadReport, sample_ownership
+from .tables import format_table
+
+from .stats import (
+    LookupStats,
+    OperationStats,
+    Summary,
+    mean_confidence_interval,
+    percentile,
+)
+
+__all__ = [
+    "LoadReport",
+    "average_curves",
+    "format_table",
+    "log_time_grid",
+    "resample",
+    "sample_ownership",
+    "sparkline",
+    "strip_chart",
+    "write_rows_csv",
+    "write_series_csv",
+    "LookupStats",
+    "OperationStats",
+    "Summary",
+    "mean_confidence_interval",
+    "percentile",
+]

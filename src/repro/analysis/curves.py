@@ -1,0 +1,46 @@
+"""Infection-curve utilities: resampling and averaging across runs.
+
+The paper reports Fig. 8 as the average of 10 simulation runs; these
+helpers resample step curves onto a common time grid so runs can be
+averaged point-wise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..worm.model import InfectionCurve
+
+
+def resample(curve: InfectionCurve, grid: Sequence[float]) -> List[int]:
+    """Cumulative count at each grid time (step interpolation)."""
+    out: List[int] = []
+    points = curve.points
+    i = 0
+    count = 0
+    for t in grid:
+        while i < len(points) and points[i][0] <= t:
+            count = points[i][1]
+            i += 1
+        out.append(count)
+    return out
+
+
+def log_time_grid(t_min: float, t_max: float, points: int = 60) -> List[float]:
+    """A logarithmic time grid (Fig. 8 uses a log x-axis)."""
+    if t_min <= 0 or t_max <= t_min or points < 2:
+        raise ValueError("need 0 < t_min < t_max and >= 2 points")
+    ratio = (t_max / t_min) ** (1.0 / (points - 1))
+    return [t_min * ratio**i for i in range(points)]
+
+
+def average_curves(
+    curves: Sequence[InfectionCurve], grid: Sequence[float]
+) -> List[Tuple[float, float]]:
+    """Point-wise mean of several runs on a common grid."""
+    if not curves:
+        return [(t, 0.0) for t in grid]
+    samples = [resample(c, grid) for c in curves]
+    return [
+        (t, sum(s[i] for s in samples) / len(samples)) for i, t in enumerate(grid)
+    ]

@@ -1,0 +1,71 @@
+"""Key-ownership load analysis.
+
+Paper §4.4 accepts a deliberate load imbalance: ids falling in the tail
+gap of a section are assigned to the *predecessor* (the last node of
+the section), which therefore owns more of the key space than a Chord
+node would, compensated by a lighter first node.  The paper discusses
+this qualitatively; this module measures it, for the ablation bench.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..overlay.snapshot import StaticOverlay
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Distribution of key ownership over nodes."""
+
+    samples: int
+    num_nodes: int
+    max_share: float          # heaviest node's fraction of keys
+    mean_share: float         # 1/num_nodes by construction
+    gini: float               # 0 = perfectly even
+    top_decile_share: float   # fraction owned by the busiest 10% of nodes
+    predecessor_rule_fraction: float  # keys assigned via the corner rule
+
+    @property
+    def max_over_mean(self) -> float:
+        return self.max_share / self.mean_share if self.mean_share else float("nan")
+
+
+def sample_ownership(
+    overlay: StaticOverlay, samples: int, rng: random.Random
+) -> LoadReport:
+    """Sample uniform keys and attribute each to its owner."""
+    counts = [0] * len(overlay)
+    via_pred = 0
+    for _ in range(samples):
+        key = rng.getrandbits(overlay.space.bits)
+        decision = overlay.owner(key)
+        counts[decision.index] += 1
+        if decision.via_predecessor_rule:
+            via_pred += 1
+    return _report(counts, samples, via_pred)
+
+
+def _report(counts: Sequence[int], samples: int, via_pred: int) -> LoadReport:
+    n = len(counts)
+    shares = sorted(c / samples for c in counts)
+    mean = 1.0 / n
+    # Gini from the sorted shares.
+    cumulative = 0.0
+    weighted = 0.0
+    for i, share in enumerate(shares, start=1):
+        cumulative += share
+        weighted += i * share
+    gini = (2.0 * weighted) / (n * cumulative) - (n + 1.0) / n if cumulative else 0.0
+    top_decile = sum(shares[-max(1, n // 10):])
+    return LoadReport(
+        samples=samples,
+        num_nodes=n,
+        max_share=shares[-1],
+        mean_share=mean,
+        gini=gini,
+        top_decile_share=top_decile,
+        predecessor_rule_fraction=via_pred / samples if samples else 0.0,
+    )

@@ -1,0 +1,122 @@
+"""Metric collection and summary statistics for the experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    p90: float
+    maximum: float
+
+    @staticmethod
+    def of(values: Sequence[float]) -> "Summary":
+        if not values:
+            return Summary(0, math.nan, math.nan, math.nan, math.nan, math.nan, math.nan)
+        ordered = sorted(values)
+        n = len(ordered)
+        mean = sum(ordered) / n
+        var = sum((v - mean) ** 2 for v in ordered) / n
+        return Summary(
+            count=n,
+            mean=mean,
+            std=math.sqrt(var),
+            minimum=ordered[0],
+            median=percentile(ordered, 50.0),
+            p90=percentile(ordered, 90.0),
+            maximum=ordered[-1],
+        )
+
+
+def percentile(ordered: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile of an already-sorted sample."""
+    if not ordered:
+        return math.nan
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return float(ordered[lo])
+    frac = rank - lo
+    return float(ordered[lo] * (1 - frac) + ordered[hi] * frac)
+
+
+def mean_confidence_interval(
+    values: Sequence[float], z: float = 1.96
+) -> tuple[float, float]:
+    """Normal-approximation confidence half-interval around the mean."""
+    if not values:
+        return math.nan, math.nan
+    s = Summary.of(values)
+    half = z * s.std / math.sqrt(max(1, s.count))
+    return s.mean, half
+
+
+@dataclass
+class LookupStats:
+    """Accumulates per-lookup outcomes from a workload driver."""
+
+    latencies_s: List[float] = field(default_factory=list)
+    hops: List[int] = field(default_factory=list)
+    failures: int = 0
+    successes: int = 0
+
+    def record(self, success: bool, latency_s: float, hop_count: int) -> None:
+        if success:
+            self.successes += 1
+            self.latencies_s.append(latency_s)
+            self.hops.append(hop_count)
+        else:
+            self.failures += 1
+
+    @property
+    def total(self) -> int:
+        return self.successes + self.failures
+
+    @property
+    def failure_rate(self) -> float:
+        return self.failures / self.total if self.total else math.nan
+
+    def latency_summary(self) -> Summary:
+        return Summary.of(self.latencies_s)
+
+    def hops_summary(self) -> Summary:
+        return Summary.of([float(h) for h in self.hops])
+
+
+@dataclass
+class OperationStats:
+    """Per-DHT-operation latency and bandwidth (paper Figs. 6 and 7)."""
+
+    latencies_s: List[float] = field(default_factory=list)
+    bytes_used: List[int] = field(default_factory=list)
+    failures: int = 0
+
+    def record(self, success: bool, latency_s: float, op_bytes: int) -> None:
+        if success:
+            self.latencies_s.append(latency_s)
+            self.bytes_used.append(op_bytes)
+        else:
+            self.failures += 1
+
+    @property
+    def successes(self) -> int:
+        return len(self.latencies_s)
+
+    def latency_summary(self) -> Summary:
+        return Summary.of(self.latencies_s)
+
+    def bytes_summary(self) -> Summary:
+        return Summary.of([float(b) for b in self.bytes_used])

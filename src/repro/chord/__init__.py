@@ -1,0 +1,38 @@
+"""Chord: the baseline routing overlay (Stoica et al., SIGCOMM '01)."""
+
+from .config import OverlayConfig
+from .lookup import LookupPurpose, LookupResult, LookupStyle
+from .node import ChordNode
+from .ring import (
+    ChurnDriver,
+    ChurnEvent,
+    ScriptedChurn,
+    LookupWorkload,
+    NodeFactory,
+    Population,
+    instant_bootstrap,
+    make_static_overlay,
+)
+from .rpc import RpcContext, RpcLayer
+from .state import FingerTable, NeighborList, NodeInfo
+
+__all__ = [
+    "ChordNode",
+    "ChurnDriver",
+    "ChurnEvent",
+    "ScriptedChurn",
+    "FingerTable",
+    "LookupPurpose",
+    "LookupResult",
+    "LookupStyle",
+    "LookupWorkload",
+    "NeighborList",
+    "NodeFactory",
+    "NodeInfo",
+    "OverlayConfig",
+    "Population",
+    "RpcContext",
+    "RpcLayer",
+    "instant_bootstrap",
+    "make_static_overlay",
+]

@@ -1,0 +1,34 @@
+"""Overlay protocol configuration.
+
+Defaults follow the paper's §7.1 setup: 10 successors, successor
+stabilization every 30 s, finger stabilization every 60 s, and (for
+Verme) 10 predecessors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ids.idspace import DEFAULT_SPACE, IdSpace
+
+
+@dataclass(frozen=True)
+class OverlayConfig:
+    """Knobs shared by Chord and Verme nodes."""
+
+    space: IdSpace = DEFAULT_SPACE
+    num_successors: int = 10
+    num_predecessors: int = 10
+    stabilize_interval_s: float = 30.0
+    finger_interval_s: float = 60.0
+    rpc_timeout_s: float = 0.5
+    lookup_timeout_s: float = 8.0
+    lookup_retries: int = 3
+    max_lookup_hops: int = 100
+    pending_route_gc_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.num_successors < 1:
+            raise ValueError("need at least one successor")
+        if self.rpc_timeout_s <= 0 or self.lookup_timeout_s <= 0:
+            raise ValueError("timeouts must be positive")

@@ -1,0 +1,867 @@
+"""The Chord protocol node.
+
+Implements the full node lifecycle the paper's §4.2 overview describes:
+ring creation, joining via a lookup of the node's own id, successor
+stabilization (every 30 s in the experiments), finger stabilization
+(every 60 s), failure handling through RPC timeouts, and the three
+lookup styles (iterative / recursive / transitive).
+
+The routing engine is shared with :class:`repro.verme.node.VermeNode`,
+which only overrides id-ownership, finger-target placement, result
+packaging (sealing) and lookup verification — exactly the deltas the
+paper introduces.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from ..ids.idspace import IdSpace
+from ..net.addressing import NodeAddress
+from ..net.message import ADDR_BYTES, ID_BYTES, entry_bytes
+from ..net.network import Network
+from ..sim import EventHandle, PeriodicTimer, Simulator
+from .config import OverlayConfig
+from .lookup import LookupPurpose, LookupResult, LookupStyle
+from .rpc import MIN_RPC_BYTES, RpcContext, RpcLayer
+from .state import FingerTable, NeighborList, NodeInfo
+
+LookupCallback = Callable[[LookupResult], None]
+
+# A DHT layer may install this hook; it runs on the node that terminates
+# a lookup, and must eventually call ``done(app_payload, extra_bytes)``.
+ResponsibleHook = Callable[[int, dict, List[NodeInfo], Callable[[object, int], None]], None]
+
+
+@dataclass
+class _RouteDecision:
+    done: bool
+    owner_is_self: bool = False
+    next_hop: Optional[NodeInfo] = None
+
+
+@dataclass
+class _PendingLookup:
+    key: int
+    style: LookupStyle
+    purpose: LookupPurpose
+    on_done: LookupCallback
+    category: str
+    op_tag: Optional[int]
+    request_meta: Optional[dict]
+    extra_request_bytes: int
+    started_at: float
+    first_hop: Optional[NodeAddress]
+    timer: Optional[EventHandle] = None
+    attempts: int = 0
+    token: Optional[tuple] = None
+    failed_hops: Set[NodeAddress] = field(default_factory=set)
+    iter_hops: int = 0
+
+
+@dataclass
+class _ForwardState:
+    upstream: NodeAddress
+    exclude: Set[NodeAddress]
+    params: dict
+    gc_handle: EventHandle
+
+
+class ChordNode:
+    """One overlay node; see module docstring."""
+
+    #: style used for the node's own maintenance lookups (joins, fingers)
+    maintenance_style = LookupStyle.RECURSIVE
+    #: styles this overlay permits (Verme restricts this set)
+    allowed_styles = frozenset(
+        {LookupStyle.ITERATIVE, LookupStyle.RECURSIVE, LookupStyle.TRANSITIVE}
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        config: OverlayConfig,
+        node_id: int,
+        address: NodeAddress,
+        jitter_rng=None,
+    ) -> None:
+        config.space.validate(node_id)
+        self.sim = sim
+        self.network = network
+        self.config = config
+        self.node_id = node_id
+        self.address = address
+        self.rpc = RpcLayer(sim, network, address, config.rpc_timeout_s)
+        self.space: IdSpace = config.space
+        self.successors = NeighborList(
+            self.space, node_id, config.num_successors, clockwise=True
+        )
+        self.predecessors = NeighborList(
+            self.space, node_id, self._predecessor_limit(), clockwise=False
+        )
+        self.fingers = FingerTable()
+        self._alive = False
+        self._jitter_rng = jitter_rng
+        self._stabilize_timer = PeriodicTimer(
+            sim, config.stabilize_interval_s, self._stabilize, jitter_rng
+        )
+        self._finger_timer = PeriodicTimer(
+            sim, config.finger_interval_s, self._fix_fingers, jitter_rng
+        )
+        self._lookups: Dict[tuple, _PendingLookup] = {}
+        self._forwards: Dict[tuple, _ForwardState] = {}
+        self._token_counter = itertools.count()
+        self.dht_lookup_hook: Optional[ResponsibleHook] = None
+        self.lookups_started = 0
+        self.lookups_failed = 0
+        self._register_handlers()
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def info(self) -> NodeInfo:
+        return NodeInfo(self.node_id, self.address)
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    @property
+    def predecessor(self) -> Optional[NodeInfo]:
+        return self.predecessors.first
+
+    def _predecessor_limit(self) -> int:
+        """Chord keeps a single predecessor; Verme keeps a list."""
+        return 1
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.node_id:#x} at {self.address}>"
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def create_ring(self) -> None:
+        """Become the first node of a new ring."""
+        self.rpc.start()
+        self._alive = True
+        self._start_timers()
+
+    def join(
+        self,
+        bootstrap: NodeAddress,
+        on_done: Optional[Callable[[bool], None]] = None,
+    ) -> None:
+        """Join an existing ring through ``bootstrap`` (paper §4.2/§4.5:
+        joins are initiated by looking up the incoming node's own id)."""
+        self.rpc.start()
+        self._alive = True
+        self.lookup(
+            self.node_id,
+            on_done=lambda res: self._join_done(res, on_done),
+            style=self.maintenance_style,
+            purpose=LookupPurpose.JOIN,
+            category="maintenance",
+            first_hop=bootstrap,
+        )
+
+    def _join_done(
+        self, result: LookupResult, on_done: Optional[Callable[[bool], None]]
+    ) -> None:
+        if not self._alive:
+            return
+        if not result.success or not result.entries:
+            self._alive = False
+            self.rpc.shutdown()
+            if on_done is not None:
+                on_done(False)
+            return
+        self.successors.replace(result.entries)
+        self._start_timers()
+        self._stabilize()
+        self._fix_fingers()
+        if on_done is not None:
+            on_done(True)
+
+    def start_static(self) -> None:
+        """Go live with pre-filled routing state (instant bootstrap)."""
+        self.rpc.start()
+        self._alive = True
+        self._start_timers()
+
+    def crash(self) -> None:
+        """Fail-stop: leave the network without telling anyone."""
+        self._alive = False
+        self._stabilize_timer.stop()
+        self._finger_timer.stop()
+        for state in self._lookups.values():
+            if state.timer is not None:
+                state.timer.cancel()
+        self._lookups.clear()
+        for fwd in self._forwards.values():
+            fwd.gc_handle.cancel()
+        self._forwards.clear()
+        self.rpc.shutdown()
+
+    def _start_timers(self) -> None:
+        self._stabilize_timer.start()
+        self._finger_timer.start()
+
+    # -- handler registration --------------------------------------------------
+
+    def _register_handlers(self) -> None:
+        self.rpc.register("ping", self._h_ping)
+        self.rpc.register("get_neighbors", self._h_get_neighbors)
+        self.rpc.register("notify", self._h_notify)
+        self.rpc.register("route_step", self._h_route_step)
+        self.rpc.register("route_forward", self._h_route_forward)
+        self.rpc.register("route_result", self._h_route_result)
+
+    # -- basic handlers ---------------------------------------------------------
+
+    def _h_ping(self, params: dict, ctx: RpcContext) -> None:
+        ctx.respond({})
+
+    def _h_get_neighbors(self, params: dict, ctx: RpcContext) -> None:
+        succs = self.successors.entries
+        preds = self.predecessors.entries
+        size = MIN_RPC_BYTES + (len(succs) + len(preds)) * entry_bytes()
+        ctx.respond(
+            {
+                "predecessor": self.predecessor,
+                "successors": succs,
+                "predecessors": preds,
+            },
+            size=size,
+        )
+
+    def _h_notify(self, params: dict, ctx: RpcContext) -> None:
+        candidate: NodeInfo = params["node"]
+        if candidate.node_id != self.node_id:
+            self.predecessors.merge([candidate])
+        ctx.respond({})
+
+    # -- stabilization ------------------------------------------------------------
+
+    def _stabilize(self) -> None:
+        if not self._alive:
+            return
+        succ = self.successors.first
+        if succ is None:
+            pred = self.predecessor
+            if pred is not None:
+                self.successors.merge([pred])
+            return
+        self.rpc.call(
+            succ.address,
+            "get_neighbors",
+            {},
+            on_reply=lambda res: self._stabilize_reply(succ, res),
+            on_error=lambda err: self._neighbor_dead(succ),
+            category="maintenance",
+        )
+        pred = self.predecessor
+        if pred is not None:
+            self.rpc.call(
+                pred.address,
+                "get_neighbors" if self.predecessors._limit > 1 else "ping",
+                {},
+                on_reply=lambda res: self._predecessor_reply(pred, res),
+                on_error=lambda err: self._neighbor_dead(pred),
+                category="maintenance",
+            )
+
+    def _stabilize_reply(self, succ: NodeInfo, res: dict) -> None:
+        if not self._alive:
+            return
+        candidates = [succ] + list(res.get("successors", []))
+        pred = res.get("predecessor")
+        if pred is not None and self.space.in_open(
+            pred.node_id, self.node_id, succ.node_id
+        ):
+            candidates.append(pred)
+        self.successors.merge(candidates)
+        new_succ = self.successors.first
+        if new_succ is not None:
+            self.rpc.call(
+                new_succ.address,
+                "notify",
+                {"node": self.info},
+                on_error=lambda err: self._neighbor_dead(new_succ),
+                size=MIN_RPC_BYTES + entry_bytes(),
+                category="maintenance",
+            )
+
+    def _predecessor_reply(self, pred: NodeInfo, res: dict) -> None:
+        if not self._alive or not isinstance(res, dict):
+            return
+        more = res.get("predecessors")
+        if more:
+            self.predecessors.merge([pred] + list(more))
+
+    def _neighbor_dead(self, info: NodeInfo) -> None:
+        """RPC timeout: purge the node from all routing state."""
+        self.successors.remove_address(info.address)
+        self.predecessors.remove_address(info.address)
+        self.fingers.remove_address(info.address)
+
+    # -- fingers ------------------------------------------------------------------
+
+    def finger_target(self, k: int) -> int:
+        """Where finger ``k`` should point (Verme overrides this)."""
+        return self.space.power_of_two_target(self.node_id, k)
+
+    def _maintained_finger_indices(self) -> List[int]:
+        """Finger indices not already covered by the successor list."""
+        succ = self.successors.first
+        if succ is None:
+            return []
+        span = self.space.distance(self.node_id, succ.node_id)
+        return [k for k in range(self.space.bits) if (1 << k) > span]
+
+    def _fix_fingers(self) -> None:
+        if not self._alive:
+            return
+        for k in self._maintained_finger_indices():
+            target = self.finger_target(k)
+            self.lookup(
+                target,
+                on_done=lambda res, k=k: self._finger_fixed(k, res),
+                style=self.maintenance_style,
+                purpose=LookupPurpose.FINGER,
+                category="maintenance",
+            )
+
+    def _finger_fixed(self, k: int, result: LookupResult) -> None:
+        if not self._alive:
+            return
+        if result.success and result.entries:
+            entry = result.entries[0]
+            if entry.node_id != self.node_id:
+                self.fingers.set(k, entry)
+
+    # -- routing core ---------------------------------------------------------------
+
+    def _local_decision(
+        self, key: int, exclude: Set[NodeAddress]
+    ) -> Optional[_RouteDecision]:
+        """Fast path: the key provably falls in ``(predecessor, self]``,
+        so this node can decide ownership without routing."""
+        pred = self.predecessor
+        if pred is None:
+            return None
+        if self.space.in_half_open(key, pred.node_id, self.node_id):
+            return _RouteDecision(done=True, owner_is_self=True)
+        return None
+
+    def _route_next(self, key: int, exclude: Set[NodeAddress]) -> _RouteDecision:
+        succ = self.successors.first
+        if succ is None:
+            return _RouteDecision(done=True, owner_is_self=True)
+        if self.space.in_half_open(key, self.node_id, succ.node_id):
+            return self._terminal_decision(key, succ)
+        local = self._local_decision(key, exclude)
+        if local is not None:
+            return local
+        candidates = self.fingers.entries() + self.successors.entries
+        best: Optional[NodeInfo] = None
+        best_dist = -1
+        for cand in candidates:
+            if cand.address in exclude:
+                continue
+            if self.space.in_open(cand.node_id, self.node_id, key):
+                dist = self.space.distance(self.node_id, cand.node_id)
+                if dist > best_dist:
+                    best = cand
+                    best_dist = dist
+        if best is None:
+            if succ.address not in exclude:
+                best = succ  # last resort: inch forward via the successor
+            else:
+                return _RouteDecision(done=False, next_hop=None)
+        return _RouteDecision(done=False, next_hop=best)
+
+    def _terminal_decision(self, key: int, succ: NodeInfo) -> _RouteDecision:
+        """The key lies in ``(self, successor]``: in Chord the successor
+        always owns it.  Verme overrides this with the section rule."""
+        return _RouteDecision(done=True, owner_is_self=False)
+
+    def _entries_for_key(
+        self, key: int, purpose: LookupPurpose, owner_is_self: bool
+    ) -> List[NodeInfo]:
+        """The node list a terminating lookup returns."""
+        if owner_is_self:
+            entries = [self.info] + self.successors.entries
+        else:
+            entries = self.successors.entries
+        return entries[: self.config.num_successors]
+
+    # -- lookup verification / packaging (Verme overrides) ----------------------------
+
+    def _verify_lookup(self, key: int, params: dict) -> Optional[str]:
+        """Return an error string to reject the lookup, or None to allow."""
+        return None
+
+    def _package_result(self, entries: List[NodeInfo], params: dict) -> object:
+        return entries
+
+    def _unpackage_result(self, payload: object) -> List[NodeInfo]:
+        return list(payload)  # type: ignore[arg-type]
+
+    def _lookup_request_extra_bytes(self) -> int:
+        """Extra per-request wire bytes (Verme adds the certificate)."""
+        return 0
+
+    def _result_extra_bytes(self) -> int:
+        """Extra per-result wire bytes (Verme adds sealing overhead)."""
+        return 0
+
+    def _attach_credentials(self, params: dict) -> None:
+        """Add certificates etc. to an outgoing lookup (Verme overrides)."""
+
+    # -- lookup initiation ---------------------------------------------------------
+
+    def lookup(
+        self,
+        key: int,
+        on_done: LookupCallback,
+        style: Optional[LookupStyle] = None,
+        purpose: LookupPurpose = LookupPurpose.DHT,
+        category: Optional[str] = None,
+        op_tag: Optional[int] = None,
+        request_meta: Optional[dict] = None,
+        extra_request_bytes: int = 0,
+        first_hop: Optional[NodeAddress] = None,
+    ) -> None:
+        """Find the nodes responsible for ``key``.
+
+        ``on_done`` receives a :class:`LookupResult`.  ``request_meta``
+        and ``extra_request_bytes`` support piggybacked DHT operations
+        (Secure-VerDi); ``first_hop`` routes the first step through a
+        specific node (used when joining).
+        """
+        style = style if style is not None else self.maintenance_style
+        if style not in self.allowed_styles:
+            raise ValueError(f"{type(self).__name__} does not allow {style}")
+        if category is None:
+            category = "lookup" if purpose is LookupPurpose.DHT else "maintenance"
+        self.lookups_started += 1
+        state = _PendingLookup(
+            key=key,
+            style=style,
+            purpose=purpose,
+            on_done=on_done,
+            category=category,
+            op_tag=op_tag,
+            request_meta=request_meta,
+            extra_request_bytes=extra_request_bytes,
+            started_at=self.sim.now,
+            first_hop=first_hop,
+        )
+        state.timer = self.sim.schedule(
+            self.config.lookup_timeout_s, self._lookup_attempt_timeout, state
+        )
+        self._attempt(state)
+
+    def _new_token(self, state: _PendingLookup) -> tuple:
+        token = (str(self.address), next(self._token_counter))
+        state.token = token
+        self._lookups[token] = state
+        return token
+
+    def _attempt(self, state: _PendingLookup) -> None:
+        if not self._alive:
+            return
+        state.attempts += 1
+        if state.token is not None:
+            self._lookups.pop(state.token, None)
+        token = self._new_token(state)
+
+        if state.first_hop is not None:
+            # Joining: we have no routing state of our own, so every
+            # attempt must enter the overlay through the bootstrap node.
+            self._send_forward(state, token, state.first_hop, hops=1)
+            return
+
+        decision = self._route_next(state.key, state.failed_hops)
+        if decision.done:
+            self._complete_local(state, decision)
+            return
+        if decision.next_hop is None:
+            self._finish(state, None, error="no route")
+            return
+        if state.style is LookupStyle.ITERATIVE:
+            state.iter_hops = 0
+            self._iterative_step(state, token, decision.next_hop)
+        else:
+            self._send_forward(state, token, decision.next_hop.address, hops=1)
+
+    def _complete_local(self, state: _PendingLookup, decision: _RouteDecision) -> None:
+        """The initiator itself terminates the lookup."""
+        err = self._verify_lookup(state.key, self._request_params(state, None, 0))
+        if err is not None:
+            self._finish(state, None, error=err)
+            return
+        entries = self._entries_for_key(state.key, state.purpose, decision.owner_is_self)
+
+        def done(app_payload: object, _extra: int) -> None:
+            self._finish(state, entries, hops=0, app_payload=app_payload)
+
+        if (
+            state.purpose is LookupPurpose.DHT
+            and state.request_meta is not None
+            and self.dht_lookup_hook is not None
+        ):
+            self.dht_lookup_hook(state.key, state.request_meta, entries, done)
+        else:
+            done(None, 0)
+
+    def _request_params(
+        self, state: _PendingLookup, token: Optional[tuple], hops: int
+    ) -> dict:
+        params = {
+            "key": state.key,
+            "token": token,
+            "style": state.style,
+            "purpose": state.purpose,
+            "hops": hops,
+            "meta": state.request_meta,
+            "extra_bytes": state.extra_request_bytes,
+            "origin": self.address if state.style is LookupStyle.TRANSITIVE else None,
+        }
+        self._attach_credentials(params)
+        return params
+
+    def _forward_request_size(self, params: dict) -> int:
+        size = MIN_RPC_BYTES + ID_BYTES + int(params.get("extra_bytes", 0))
+        size += self._lookup_request_extra_bytes()
+        if params.get("origin") is not None:
+            size += ADDR_BYTES
+        return size
+
+    # Slowest plausible access uplink (bytes/s); used to keep the per-hop
+    # failure-detection timeout above the serialization delay of lookups
+    # that piggyback bulk data (Secure-VerDi puts).
+    _WORST_CASE_BANDWIDTH = 1e4
+
+    def _forward_timeout(self, params: dict) -> float:
+        extra = int(params.get("extra_bytes", 0))
+        return self.config.rpc_timeout_s + extra / self._WORST_CASE_BANDWIDTH
+
+    def _send_forward(
+        self, state: _PendingLookup, token: tuple, dst: NodeAddress, hops: int
+    ) -> None:
+        params = self._request_params(state, token, hops)
+        self.rpc.call(
+            dst,
+            "route_forward",
+            params,
+            on_reply=None,  # the ack carries no information
+            on_error=lambda err: self._first_hop_failed(state, dst),
+            timeout_s=self._forward_timeout(params),
+            size=self._forward_request_size(params),
+            category=state.category,
+            op_tag=state.op_tag,
+        )
+
+    def _first_hop_failed(self, state: _PendingLookup, dst: NodeAddress) -> None:
+        if state.token is None or state.token not in self._lookups:
+            return
+        self.successors.remove_address(dst)
+        self.fingers.remove_address(dst)
+        self.predecessors.remove_address(dst)
+        state.failed_hops.add(dst)
+        self._retry(state)
+
+    def _retry(self, state: _PendingLookup) -> None:
+        if state.attempts > self.config.lookup_retries:
+            self._finish(state, None, error="retries exhausted")
+            return
+        self._attempt(state)
+
+    def _lookup_attempt_timeout(self, state: _PendingLookup) -> None:
+        if state.token is None or state.token not in self._lookups:
+            return
+        if state.attempts > self.config.lookup_retries:
+            self._finish(state, None, error="timeout")
+            return
+        state.timer = self.sim.schedule(
+            self.config.lookup_timeout_s, self._lookup_attempt_timeout, state
+        )
+        self._attempt(state)
+
+    def _finish(
+        self,
+        state: _PendingLookup,
+        entries: Optional[List[NodeInfo]],
+        hops: int = 0,
+        error: Optional[str] = None,
+        app_payload: object = None,
+    ) -> None:
+        if state.token is not None:
+            self._lookups.pop(state.token, None)
+        if state.timer is not None:
+            state.timer.cancel()
+        success = error is None and entries is not None
+        if not success:
+            self.lookups_failed += 1
+        result = LookupResult(
+            key=state.key,
+            success=success,
+            entries=list(entries) if entries else [],
+            latency_s=self.sim.now - state.started_at,
+            hops=hops,
+            retries=state.attempts - 1,
+            error=error,
+            app_payload=app_payload,
+        )
+        self.sim.schedule(0.0, state.on_done, result)
+
+    # -- iterative lookups -------------------------------------------------------
+
+    def _iterative_step(
+        self, state: _PendingLookup, token: tuple, hop: NodeInfo
+    ) -> None:
+        if token not in self._lookups:
+            return
+        if state.iter_hops >= self.config.max_lookup_hops:
+            self._finish(state, None, error="hop limit")
+            return
+        state.iter_hops += 1
+        self.rpc.call(
+            hop.address,
+            "route_step",
+            {"key": state.key, "purpose": state.purpose},
+            on_reply=lambda res: self._iterative_reply(state, token, hop, res),
+            on_error=lambda err: self._iterative_error(state, token, hop),
+            size=MIN_RPC_BYTES + ID_BYTES,
+            category=state.category,
+            op_tag=state.op_tag,
+        )
+
+    def _iterative_reply(
+        self, state: _PendingLookup, token: tuple, hop: NodeInfo, res: dict
+    ) -> None:
+        if token not in self._lookups:
+            return
+        if res.get("done"):
+            self._finish(state, res.get("entries", []), hops=state.iter_hops)
+        else:
+            nxt: Optional[NodeInfo] = res.get("next")
+            if nxt is None or nxt.address in state.failed_hops:
+                self._finish(state, None, error="no route")
+                return
+            self._iterative_step(state, token, nxt)
+
+    def _iterative_error(
+        self, state: _PendingLookup, token: tuple, hop: NodeInfo
+    ) -> None:
+        if token not in self._lookups:
+            return
+        state.failed_hops.add(hop.address)
+        self._neighbor_dead(hop)
+        self._retry(state)
+
+    def _h_route_step(self, params: dict, ctx: RpcContext) -> None:
+        key = params["key"]
+        purpose = params["purpose"]
+        decision = self._route_next(key, set())
+        if decision.done:
+            entries = self._entries_for_key(key, purpose, decision.owner_is_self)
+            ctx.respond(
+                {"done": True, "entries": entries},
+                size=MIN_RPC_BYTES + len(entries) * entry_bytes(),
+            )
+        else:
+            ctx.respond(
+                {"done": False, "next": decision.next_hop},
+                size=MIN_RPC_BYTES + entry_bytes(),
+            )
+
+    # -- recursive / transitive forwarding ------------------------------------------
+
+    def _h_route_forward(self, params: dict, ctx: RpcContext) -> None:
+        ctx.respond({})  # per-hop ack: "I took it" (failure detector)
+        token = params["token"]
+        style: LookupStyle = params["style"]
+        hops = params["hops"]
+        if hops > self.config.max_lookup_hops:
+            self._send_result_back(params, ctx.src, ok=False, error="hop limit")
+            return
+        if style is LookupStyle.RECURSIVE:
+            if token in self._forwards:
+                return  # duplicate
+            gc_handle = self.sim.schedule(
+                self.config.pending_route_gc_s, self._gc_forward, token
+            )
+            self._forwards[token] = _ForwardState(
+                upstream=ctx.src, exclude=set(), params=params, gc_handle=gc_handle
+            )
+        self._continue_forward(params, ctx.src, set(), ctx.category, ctx.op_tag)
+
+    def _continue_forward(
+        self,
+        params: dict,
+        upstream: NodeAddress,
+        exclude: Set[NodeAddress],
+        category: str,
+        op_tag: Optional[int],
+    ) -> None:
+        key = params["key"]
+        decision = self._route_next(key, exclude)
+        if decision.done:
+            self._terminate_route(params, upstream, decision, category, op_tag)
+            return
+        if decision.next_hop is None:
+            self._send_result_back(params, upstream, ok=False, error="no route")
+            return
+        nxt = decision.next_hop
+        fwd_params = dict(params)
+        fwd_params["hops"] = params["hops"] + 1
+        self.rpc.call(
+            nxt.address,
+            "route_forward",
+            fwd_params,
+            on_reply=None,
+            on_error=lambda err: self._forward_hop_failed(
+                params, upstream, exclude, nxt, category, op_tag
+            ),
+            timeout_s=self._forward_timeout(fwd_params),
+            size=self._forward_request_size(fwd_params),
+            category=category,
+            op_tag=op_tag,
+        )
+
+    def _forward_hop_failed(
+        self,
+        params: dict,
+        upstream: NodeAddress,
+        exclude: Set[NodeAddress],
+        dead: NodeInfo,
+        category: str,
+        op_tag: Optional[int],
+    ) -> None:
+        if not self._alive:
+            return
+        self._neighbor_dead(dead)
+        exclude = set(exclude)
+        exclude.add(dead.address)
+        if len(exclude) > 4:
+            self._send_result_back(params, upstream, ok=False, error="no route")
+            return
+        self._continue_forward(params, upstream, exclude, category, op_tag)
+
+    def _terminate_route(
+        self,
+        params: dict,
+        upstream: NodeAddress,
+        decision: _RouteDecision,
+        category: str,
+        op_tag: Optional[int],
+    ) -> None:
+        key = params["key"]
+        err = self._verify_lookup(key, params)
+        if err is not None:
+            self._send_result_back(params, upstream, ok=False, error=err)
+            return
+        purpose: LookupPurpose = params["purpose"]
+        entries = self._entries_for_key(key, purpose, decision.owner_is_self)
+        meta = params.get("meta")
+
+        def done(app_payload: object, extra_bytes: int) -> None:
+            # Secure-VerDi piggybacked operations never disclose replica
+            # addresses to the initiator (it has no use for them).
+            returned = [] if (meta or {}).get("suppress_entries") else entries
+            self._send_result_back(
+                params,
+                upstream,
+                ok=True,
+                entries=returned,
+                app_payload=app_payload,
+                extra_bytes=extra_bytes,
+                category=category,
+                op_tag=op_tag,
+            )
+
+        if purpose is LookupPurpose.DHT and meta is not None and self.dht_lookup_hook:
+            self.dht_lookup_hook(key, meta, entries, done)
+        else:
+            done(None, 0)
+
+    def _send_result_back(
+        self,
+        params: dict,
+        upstream: NodeAddress,
+        ok: bool,
+        entries: Optional[List[NodeInfo]] = None,
+        error: Optional[str] = None,
+        app_payload: object = None,
+        extra_bytes: int = 0,
+        category: str = "lookup",
+        op_tag: Optional[int] = None,
+    ) -> None:
+        size = MIN_RPC_BYTES + extra_bytes
+        payload: object = None
+        if ok and entries is not None:
+            payload = self._package_result(list(entries), params)
+            size += len(entries) * entry_bytes() + self._result_extra_bytes()
+        result_params = {
+            "token": params["token"],
+            "ok": ok,
+            "payload": payload,
+            "app_payload": app_payload,
+            "error": error,
+            "hops": params["hops"],
+            "size": size,
+        }
+        if params["style"] is LookupStyle.TRANSITIVE:
+            dst = params.get("origin")
+            if dst is None:
+                return
+        else:
+            dst = upstream
+        self.rpc.send_one_way(
+            dst, "route_result", result_params, size=size, category=category, op_tag=op_tag
+        )
+
+    def _h_route_result(self, params: dict, ctx: RpcContext) -> None:
+        token = params["token"]
+        state = self._lookups.get(token)
+        if state is not None:
+            self._initiator_result(state, params)
+            return
+        fwd = self._forwards.pop(token, None)
+        if fwd is None:
+            return  # stale / GC'ed
+        fwd.gc_handle.cancel()
+        self.rpc.send_one_way(
+            fwd.upstream,
+            "route_result",
+            params,
+            size=params.get("size", MIN_RPC_BYTES),
+            category=ctx.category,
+            op_tag=ctx.op_tag,
+        )
+
+    def _initiator_result(self, state: _PendingLookup, params: dict) -> None:
+        if not params.get("ok"):
+            if state.attempts > self.config.lookup_retries:
+                self._finish(state, None, error=params.get("error") or "failed")
+            else:
+                self._retry(state)
+            return
+        try:
+            entries = self._unpackage_result(params["payload"])
+        except Exception:
+            self._finish(state, None, error="unreadable result")
+            return
+        self._finish(
+            state,
+            entries,
+            hops=params.get("hops", 0),
+            app_payload=params.get("app_payload"),
+        )
+
+    def _gc_forward(self, token: tuple) -> None:
+        self._forwards.pop(token, None)

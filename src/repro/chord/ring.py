@@ -1,0 +1,334 @@
+"""Ring construction, churn, and lookup workloads.
+
+``instant_bootstrap`` initialises a population of protocol nodes with
+converged routing state (successors, predecessors, fingers) computed by
+the static snapshot machinery — the standard simulator trick to avoid
+paying O(N) protocol joins before an experiment starts.  ``ChurnDriver``
+then kills nodes with exponentially distributed lifetimes and rejoins
+replacements through the real join protocol, as in the paper's Fig. 5
+setup (mean lifetimes from 15 minutes to 8 hours).  ``LookupWorkload``
+issues lookups for random keys from random alive nodes at exponentially
+distributed intervals (mean 30 s per node).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Protocol, Sequence
+
+from ..analysis.stats import LookupStats
+from ..overlay.snapshot import StaticOverlay, VermeStaticOverlay
+from ..sim import Simulator
+from .lookup import LookupPurpose, LookupResult, LookupStyle
+from .node import ChordNode
+
+
+class Population:
+    """The set of currently-alive nodes, with deterministic sampling."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[object, ChordNode] = {}
+
+    def add(self, node: ChordNode) -> None:
+        self._nodes[node.address] = node
+
+    def remove(self, node: ChordNode) -> None:
+        self._nodes.pop(node.address, None)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self):
+        return iter(list(self._nodes.values()))
+
+    @property
+    def nodes(self) -> List[ChordNode]:
+        return list(self._nodes.values())
+
+    def pick(self, rng: random.Random) -> Optional[ChordNode]:
+        if not self._nodes:
+            return None
+        return rng.choice(list(self._nodes.values()))
+
+
+class NodeFactory(Protocol):
+    """Creates protocol nodes; concrete factories live with the
+    experiment configuration (they decide ids, types, certificates)."""
+
+    def create(self, host_slot: int, incarnation: int) -> ChordNode: ...
+
+
+def make_static_overlay(nodes: Sequence[ChordNode]) -> StaticOverlay:
+    """The matching snapshot class for a homogeneous node population."""
+    first = nodes[0]
+    infos = [n.info for n in nodes]
+    layout = getattr(first, "layout", None)
+    if layout is not None:
+        return VermeStaticOverlay(layout, infos)
+    return StaticOverlay(first.space, infos)
+
+
+def instant_bootstrap(nodes: Sequence[ChordNode]) -> StaticOverlay:
+    """Fill every node's routing state with converged values and start it."""
+    overlay = make_static_overlay(nodes)
+    for node in nodes:
+        idx = overlay.index_of(node.node_id)
+        node.successors.replace(
+            overlay.successor_list(idx, node.config.num_successors)
+        )
+        node.predecessors.replace(
+            overlay.predecessor_list(idx, node._predecessor_limit())
+        )
+        for k, info in overlay.finger_table(idx).items():
+            node.fingers.set(k, info)
+    for node in nodes:
+        node.start_static()
+    return overlay
+
+
+class ChurnDriver:
+    """Kills and replaces nodes, keeping the population size stable.
+
+    Each alive node gets a random lifetime — exponential by default
+    (paper §7.1.1) or Pareto (heavy-tailed, the distribution p2psim's
+    churn studies favoured) — and on death a replacement (same host,
+    next incarnation, fresh id from the factory) joins through the real
+    protocol after ``rejoin_delay_s``.
+    """
+
+    LIFETIME_DISTRIBUTIONS = ("exponential", "pareto")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        population: Population,
+        factory: NodeFactory,
+        rng: random.Random,
+        mean_lifetime_s: float,
+        rejoin_delay_s: float = 2.0,
+        lifetime_distribution: str = "exponential",
+        pareto_alpha: float = 1.5,
+    ) -> None:
+        if mean_lifetime_s <= 0:
+            raise ValueError("mean lifetime must be positive")
+        if lifetime_distribution not in self.LIFETIME_DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown lifetime distribution {lifetime_distribution!r}"
+            )
+        if pareto_alpha <= 1.0:
+            raise ValueError("pareto alpha must exceed 1 for a finite mean")
+        self.sim = sim
+        self.population = population
+        self.factory = factory
+        self.rng = rng
+        self.mean_lifetime_s = mean_lifetime_s
+        self.rejoin_delay_s = rejoin_delay_s
+        self.lifetime_distribution = lifetime_distribution
+        self.pareto_alpha = pareto_alpha
+        self.deaths = 0
+        self.joins = 0
+        self.failed_joins = 0
+
+    def start(self) -> None:
+        for node in self.population.nodes:
+            self._schedule_death(node)
+
+    def sample_lifetime(self) -> float:
+        if self.lifetime_distribution == "exponential":
+            return self.rng.expovariate(1.0 / self.mean_lifetime_s)
+        # Pareto with mean = x_min * alpha / (alpha - 1).
+        alpha = self.pareto_alpha
+        x_min = self.mean_lifetime_s * (alpha - 1.0) / alpha
+        return x_min * (1.0 - self.rng.random()) ** (-1.0 / alpha)
+
+    def _schedule_death(self, node: ChordNode) -> None:
+        self.sim.schedule(self.sample_lifetime(), self._kill, node)
+
+    def _kill(self, node: ChordNode) -> None:
+        if not node.alive:
+            return
+        self.population.remove(node)
+        node.crash()
+        self.deaths += 1
+        self.sim.schedule(
+            self.rejoin_delay_s,
+            self._respawn,
+            node.address.host_slot,
+            node.address.incarnation + 1,
+        )
+
+    def _respawn(self, host_slot: int, incarnation: int) -> None:
+        bootstrap = self.population.pick(self.rng)
+        if bootstrap is None:
+            # Everyone is gone; try again later rather than giving up.
+            self.sim.schedule(self.rejoin_delay_s, self._respawn, host_slot, incarnation)
+            return
+        node = self.factory.create(host_slot, incarnation)
+        node.join(
+            bootstrap.address,
+            on_done=lambda ok: self._joined(node, host_slot, incarnation, ok),
+        )
+
+    def _joined(
+        self, node: ChordNode, host_slot: int, incarnation: int, ok: bool
+    ) -> None:
+        if ok:
+            self.joins += 1
+            self.population.add(node)
+            self._schedule_death(node)
+        else:
+            self.failed_joins += 1
+            self.sim.schedule(
+                self.rejoin_delay_s, self._respawn, host_slot, incarnation + 1
+            )
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scripted membership change: a node leaves or (re)joins."""
+
+    time_s: float
+    host_slot: int
+    action: str  # "leave" | "join"
+
+    def __post_init__(self) -> None:
+        if self.action not in ("leave", "join"):
+            raise ValueError(f"unknown churn action {self.action!r}")
+
+
+class ScriptedChurn:
+    """Replays a membership trace instead of sampling lifetimes.
+
+    Useful for regression experiments (identical churn across systems)
+    and for replaying availability traces from measurement studies.
+    Leaves crash the current incarnation of the host's node; joins
+    create the next incarnation via the factory and the real protocol.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        population: Population,
+        factory: NodeFactory,
+        rng: random.Random,
+        trace: Sequence[ChurnEvent],
+    ) -> None:
+        self.sim = sim
+        self.population = population
+        self.factory = factory
+        self.rng = rng
+        self.trace = sorted(trace, key=lambda e: e.time_s)
+        self.applied = 0
+        self.skipped = 0
+        self._incarnations: Dict[int, int] = {}
+
+    def start(self) -> None:
+        for node in self.population.nodes:
+            self._incarnations[node.address.host_slot] = node.address.incarnation
+        for event in self.trace:
+            self.sim.schedule_at(event.time_s, self._apply, event)
+
+    def _node_on_host(self, host_slot: int) -> Optional[ChordNode]:
+        for node in self.population.nodes:
+            if node.address.host_slot == host_slot:
+                return node
+        return None
+
+    def _apply(self, event: ChurnEvent) -> None:
+        node = self._node_on_host(event.host_slot)
+        if event.action == "leave":
+            if node is None:
+                self.skipped += 1
+                return
+            self.population.remove(node)
+            node.crash()
+            self.applied += 1
+            return
+        if node is not None:  # already present
+            self.skipped += 1
+            return
+        bootstrap = self.population.pick(self.rng)
+        if bootstrap is None:
+            self.skipped += 1
+            return
+        incarnation = self._incarnations.get(event.host_slot, -1) + 1
+        self._incarnations[event.host_slot] = incarnation
+        newcomer = self.factory.create(event.host_slot, incarnation)
+        newcomer.join(
+            bootstrap.address,
+            on_done=lambda ok: self._joined(newcomer, ok),
+        )
+
+    def _joined(self, node: ChordNode, ok: bool) -> None:
+        if ok:
+            self.population.add(node)
+            self.applied += 1
+        else:
+            self.skipped += 1
+
+
+@dataclass
+class _WorkloadState:
+    stopped: bool = False
+
+
+class LookupWorkload:
+    """Poisson lookup workload over the alive population.
+
+    Each node issues lookups with exponential inter-arrival times of
+    mean ``mean_interval_s`` (paper §7.1.1: 30 s); implemented as an
+    aggregate process of rate ``len(population)/mean_interval_s``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        population: Population,
+        rng: random.Random,
+        style: LookupStyle,
+        mean_interval_s: float = 30.0,
+        stats: Optional[LookupStats] = None,
+        warmup_s: float = 0.0,
+        on_result: Optional[Callable[[LookupResult], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.population = population
+        self.rng = rng
+        self.style = style
+        self.mean_interval_s = mean_interval_s
+        self.stats = stats if stats is not None else LookupStats()
+        self.warmup_s = warmup_s
+        self.on_result = on_result
+        self._state = _WorkloadState()
+
+    def start(self) -> None:
+        self._state = _WorkloadState()
+        self.sim.schedule(max(self.warmup_s, self._next_delay()), self._fire, self._state)
+
+    def stop(self) -> None:
+        self._state.stopped = True
+
+    def _next_delay(self) -> float:
+        rate = max(1, len(self.population)) / self.mean_interval_s
+        return self.rng.expovariate(rate)
+
+    def _fire(self, state: _WorkloadState) -> None:
+        if state.stopped:
+            return
+        node = self.population.pick(self.rng)
+        if node is not None and node.alive:
+            key = self.rng.getrandbits(node.space.bits)
+            node.lookup(
+                key,
+                on_done=self._record,
+                style=self.style,
+                purpose=LookupPurpose.DHT,
+                category="lookup",
+            )
+        self.sim.schedule(self._next_delay(), self._fire, state)
+
+    def _record(self, result: LookupResult) -> None:
+        self.stats.record(result.success, result.latency_s, result.hops)
+        if self.on_result is not None:
+            self.on_result(result)

@@ -1,0 +1,215 @@
+"""Request/response RPC with timeouts over the message fabric.
+
+Protocol nodes speak three patterns:
+
+* **call** — request plus matched reply, with a timeout that doubles as
+  the failure detector ("every time a node tried to contact a node that
+  had failed it chose another neighbor", paper §7.1.2);
+* **one-way** — fire-and-forget messages (transitive lookup replies,
+  recursive result propagation);
+* **deferred replies** — a handler may answer later (e.g. after its own
+  downstream RPC completes).
+
+Handlers are registered by method name and receive ``(params, ctx)``;
+they answer via ``ctx.respond(...)`` / ``ctx.fail(...)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from ..net.addressing import NodeAddress
+from ..net.message import HEADER_BYTES, RPC_META_BYTES, Message
+from ..net.network import Network
+from ..sim import EventHandle, Simulator
+
+ReplyCallback = Callable[[Any], None]
+ErrorCallback = Callable[[str], None]
+
+MIN_RPC_BYTES = HEADER_BYTES + RPC_META_BYTES
+
+
+@dataclass
+class _Request:
+    req_id: int
+    method: str
+    params: dict
+    reply_to: Optional[NodeAddress]  # None for one-way messages
+
+
+@dataclass
+class _Reply:
+    req_id: int
+    ok: bool
+    result: Any
+
+
+class RpcContext:
+    """Handed to handlers; carries the caller and the reply channel."""
+
+    def __init__(self, rpc: "RpcLayer", request: _Request, msg: Message) -> None:
+        self._rpc = rpc
+        self._request = request
+        self.src = msg.src
+        self.category = msg.category
+        self.op_tag = msg.op_tag
+        self.responded = False
+
+    @property
+    def one_way(self) -> bool:
+        return self._request.reply_to is None
+
+    def respond(self, result: Any, size: int = MIN_RPC_BYTES) -> None:
+        """Send a successful reply (no-op guards against double replies)."""
+        self._send(_Reply(self._request.req_id, True, result), size)
+
+    def fail(self, reason: str) -> None:
+        """Send an error reply; the caller's ``on_error`` receives it."""
+        self._send(_Reply(self._request.req_id, False, reason), MIN_RPC_BYTES)
+
+    def _send(self, reply: _Reply, size: int) -> None:
+        if self.responded:
+            return
+        self.responded = True
+        if self._request.reply_to is None:
+            return  # one-way: nowhere to reply to
+        self._rpc.network.send(
+            self._rpc.address,
+            self._request.reply_to,
+            reply,
+            size,
+            category=self.category,
+            op_tag=self.op_tag,
+        )
+
+
+@dataclass
+class _Pending:
+    on_reply: Optional[ReplyCallback]
+    on_error: Optional[ErrorCallback]
+    timer: EventHandle
+
+
+class RpcLayer:
+    """One node's RPC endpoint."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        address: NodeAddress,
+        default_timeout_s: float,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.address = address
+        self.default_timeout_s = default_timeout_s
+        self._handlers: Dict[str, Callable[[dict, RpcContext], None]] = {}
+        self._pending: Dict[int, _Pending] = {}
+        self._req_ids = itertools.count()
+        self._alive = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._alive:
+            return
+        self.network.register(self.address, self._on_message)
+        self._alive = True
+
+    def shutdown(self) -> None:
+        """Leave the network; pending calls will simply time out remotely."""
+        if not self._alive:
+            return
+        self.network.unregister(self.address)
+        self._alive = False
+        for pending in self._pending.values():
+            pending.timer.cancel()
+        self._pending.clear()
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def register(self, method: str, handler: Callable[[dict, RpcContext], None]) -> None:
+        if method in self._handlers:
+            raise ValueError(f"handler for {method!r} already registered")
+        self._handlers[method] = handler
+
+    # -- outbound ------------------------------------------------------------
+
+    def call(
+        self,
+        dst: NodeAddress,
+        method: str,
+        params: dict,
+        on_reply: Optional[ReplyCallback] = None,
+        on_error: Optional[ErrorCallback] = None,
+        timeout_s: Optional[float] = None,
+        size: int = MIN_RPC_BYTES,
+        category: str = "other",
+        op_tag: Optional[int] = None,
+    ) -> int:
+        """Issue a request; exactly one of ``on_reply``/``on_error`` fires."""
+        if not self._alive:
+            raise RuntimeError("rpc layer is not started")
+        req_id = next(self._req_ids)
+        timeout = timeout_s if timeout_s is not None else self.default_timeout_s
+        timer = self.sim.schedule(timeout, self._on_timeout, req_id)
+        self._pending[req_id] = _Pending(on_reply, on_error, timer)
+        request = _Request(req_id, method, params, self.address)
+        self.network.send(
+            self.address, dst, request, size, category=category, op_tag=op_tag
+        )
+        return req_id
+
+    def send_one_way(
+        self,
+        dst: NodeAddress,
+        method: str,
+        params: dict,
+        size: int = MIN_RPC_BYTES,
+        category: str = "other",
+        op_tag: Optional[int] = None,
+    ) -> None:
+        """Fire-and-forget message dispatched to the same handler table."""
+        if not self._alive:
+            raise RuntimeError("rpc layer is not started")
+        request = _Request(next(self._req_ids), method, params, None)
+        self.network.send(
+            self.address, dst, request, size, category=category, op_tag=op_tag
+        )
+
+    def cancel(self, req_id: int) -> None:
+        pending = self._pending.pop(req_id, None)
+        if pending is not None:
+            pending.timer.cancel()
+
+    # -- inbound -------------------------------------------------------------
+
+    def _on_message(self, msg: Message) -> None:
+        payload = msg.payload
+        if isinstance(payload, _Request):
+            handler = self._handlers.get(payload.method)
+            ctx = RpcContext(self, payload, msg)
+            if handler is None:
+                ctx.fail(f"no handler for {payload.method!r}")
+                return
+            handler(payload.params, ctx)
+        elif isinstance(payload, _Reply):
+            pending = self._pending.pop(payload.req_id, None)
+            if pending is None:
+                return  # late reply after timeout: ignore
+            pending.timer.cancel()
+            if payload.ok:
+                if pending.on_reply is not None:
+                    pending.on_reply(payload.result)
+            elif pending.on_error is not None:
+                pending.on_error(str(payload.result))
+
+    def _on_timeout(self, req_id: int) -> None:
+        pending = self._pending.pop(req_id, None)
+        if pending is not None and pending.on_error is not None:
+            pending.on_error("timeout")

@@ -1,0 +1,127 @@
+"""Per-node routing state: successor/predecessor lists and fingers.
+
+The containment argument of the paper is entirely about *what these
+tables are allowed to contain*, so the state is kept in one auditable
+place with explicit invariant helpers (used by tests and by the worm
+model's knowledge extraction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..ids.idspace import IdSpace
+from ..net.addressing import NodeAddress
+
+
+@dataclass(frozen=True)
+class NodeInfo:
+    """A routing-table entry: an id and how to reach it.
+
+    In Verme the node's type is *derivable from the id* (the middle
+    bits), so entries never need to carry a separate type field.
+    """
+
+    node_id: int
+    address: NodeAddress
+
+    def __str__(self) -> str:
+        return f"{self.node_id:#x}@{self.address}"
+
+
+class NeighborList:
+    """An ordered list of ring neighbours (successors or predecessors).
+
+    Entries are kept sorted by ring distance from the owner, deduplicated
+    by id, truncated to ``limit``, and never include the owner itself.
+    ``clockwise=True`` sorts by clockwise distance (successor list);
+    ``False`` by counter-clockwise distance (predecessor list).
+    """
+
+    def __init__(
+        self, space: IdSpace, owner_id: int, limit: int, clockwise: bool = True
+    ) -> None:
+        self._space = space
+        self._owner_id = owner_id
+        self._limit = limit
+        self._clockwise = clockwise
+        self._entries: List[NodeInfo] = []
+
+    def _distance(self, info: NodeInfo) -> int:
+        if self._clockwise:
+            return self._space.distance(self._owner_id, info.node_id)
+        return self._space.distance(info.node_id, self._owner_id)
+
+    @property
+    def entries(self) -> List[NodeInfo]:
+        return list(self._entries)
+
+    @property
+    def first(self) -> Optional[NodeInfo]:
+        return self._entries[0] if self._entries else None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __contains__(self, info: NodeInfo) -> bool:
+        return info in self._entries
+
+    def merge(self, candidates: Iterable[NodeInfo]) -> None:
+        """Fold ``candidates`` into the list, keeping the closest ``limit``."""
+        by_id: Dict[int, NodeInfo] = {e.node_id: e for e in self._entries}
+        for info in candidates:
+            if info.node_id == self._owner_id:
+                continue
+            # A fresher incarnation of the same id replaces the old entry.
+            by_id[info.node_id] = info
+        ordered = sorted(by_id.values(), key=self._distance)
+        self._entries = ordered[: self._limit]
+
+    def replace(self, entries: Iterable[NodeInfo]) -> None:
+        self._entries = []
+        self.merge(entries)
+
+    def remove_address(self, address: NodeAddress) -> None:
+        self._entries = [e for e in self._entries if e.address != address]
+
+    def remove_id(self, node_id: int) -> None:
+        self._entries = [e for e in self._entries if e.node_id != node_id]
+
+
+class FingerTable:
+    """Sparse finger table indexed by finger number ``k``.
+
+    Only fingers whose targets lie beyond the first successor are
+    actually maintained (the successor list covers the rest), so the
+    table holds ~log2(N) live entries.
+    """
+
+    def __init__(self) -> None:
+        self._fingers: Dict[int, NodeInfo] = {}
+
+    def set(self, k: int, info: Optional[NodeInfo]) -> None:
+        if info is None:
+            self._fingers.pop(k, None)
+        else:
+            self._fingers[k] = info
+
+    def get(self, k: int) -> Optional[NodeInfo]:
+        return self._fingers.get(k)
+
+    def entries(self) -> List[NodeInfo]:
+        return list(self._fingers.values())
+
+    def items(self):
+        return list(self._fingers.items())
+
+    def remove_address(self, address: NodeAddress) -> None:
+        dead = [k for k, e in self._fingers.items() if e.address == address]
+        for k in dead:
+            del self._fingers[k]
+
+    def __len__(self) -> int:
+        return len(self._fingers)

@@ -1,0 +1,23 @@
+"""Simulated certificates, keys, sealed payloads, and admission."""
+
+from .admission import AdmissionController, AdmissionPolicy
+
+from .certificates import (
+    CertificateAuthority,
+    CertificateError,
+    KeyPair,
+    NodeCertificate,
+)
+from .sealed import SealedPayload, SealError, seal
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "CertificateAuthority",
+    "CertificateError",
+    "KeyPair",
+    "NodeCertificate",
+    "SealError",
+    "SealedPayload",
+    "seal",
+]

@@ -1,0 +1,135 @@
+"""Certificate admission control: limiting Sybil attacks (paper §6.1).
+
+Verme's containment assumes each entity holds one (or few) overlay
+identities; an attacker who can mint arbitrarily many certificates of
+arbitrary types could harvest addresses wholesale.  The paper points at
+the deployed remedies — make identity acquisition *expensive* (solve a
+cryptographic puzzle or download a large file, as in Credence) and cap
+identities per principal; optionally verify the platform by remote
+attestation.
+
+``AdmissionController`` implements that policy in simulation time: a
+certificate request costs ``puzzle_cost_s`` of virtual time before it
+is granted, at most ``max_certificates_per_principal`` are ever issued
+to one principal, and an (optional) attestation hook can pin the
+claimed type to the requester's true platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..ids.assignment import NodeType
+from ..sim import Simulator
+from .certificates import CertificateAuthority, KeyPair, NodeCertificate
+
+IssueCallback = Callable[[Optional[NodeCertificate], Optional[KeyPair]], None]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Cost and quota of identity acquisition."""
+
+    puzzle_cost_s: float = 300.0          # Credence-style work per identity
+    max_certificates_per_principal: int = 1
+    require_attestation: bool = False     # pin claimed type to true platform
+
+    def __post_init__(self) -> None:
+        if self.puzzle_cost_s < 0:
+            raise ValueError("puzzle cost cannot be negative")
+        if self.max_certificates_per_principal < 1:
+            raise ValueError("quota must allow at least one certificate")
+
+
+@dataclass
+class _Principal:
+    issued: int = 0
+    pending: int = 0
+
+
+class AdmissionController:
+    """Gates certificate issuance behind puzzles, quotas, attestation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ca: CertificateAuthority,
+        policy: AdmissionPolicy,
+    ) -> None:
+        self.sim = sim
+        self.ca = ca
+        self.policy = policy
+        self._principals: Dict[str, _Principal] = {}
+        self.granted = 0
+        self.denied_quota = 0
+        self.denied_attestation = 0
+
+    def request_certificate(
+        self,
+        principal: str,
+        node_id: int,
+        claimed_type: NodeType,
+        on_issued: IssueCallback,
+        true_type: Optional[NodeType] = None,
+    ) -> bool:
+        """Ask for a certificate; ``on_issued`` fires after the puzzle.
+
+        Returns False (and calls ``on_issued(None, None)``) when the
+        request is refused up-front by quota or attestation.
+        ``true_type`` models what remote attestation would observe; it
+        defaults to the claimed type (an honest requester).
+        """
+        state = self._principals.setdefault(principal, _Principal())
+        if (
+            state.issued + state.pending
+            >= self.policy.max_certificates_per_principal
+        ):
+            self.denied_quota += 1
+            on_issued(None, None)
+            return False
+        actual = true_type if true_type is not None else claimed_type
+        if self.policy.require_attestation and actual is not claimed_type:
+            self.denied_attestation += 1
+            on_issued(None, None)
+            return False
+        state.pending += 1
+        self.sim.schedule(
+            self.policy.puzzle_cost_s,
+            self._issue,
+            principal,
+            node_id,
+            claimed_type,
+            actual,
+            on_issued,
+        )
+        return True
+
+    def _issue(
+        self,
+        principal: str,
+        node_id: int,
+        claimed_type: NodeType,
+        true_type: NodeType,
+        on_issued: IssueCallback,
+    ) -> None:
+        state = self._principals[principal]
+        state.pending -= 1
+        state.issued += 1
+        self.granted += 1
+        if claimed_type is true_type:
+            cert, keys = self.ca.issue(node_id, claimed_type)
+        else:
+            cert, keys = self.ca.issue_impersonated(node_id, claimed_type, true_type)
+        on_issued(cert, keys)
+
+    def certificates_issued_to(self, principal: str) -> int:
+        state = self._principals.get(principal)
+        return state.issued if state else 0
+
+    def max_identity_rate_per_s(self) -> float:
+        """Upper bound on identities/second one principal can mint —
+        the number that bounds a Sybil harvest rate."""
+        if self.policy.puzzle_cost_s == 0:
+            return float("inf")
+        return 1.0 / self.policy.puzzle_cost_s

@@ -1,0 +1,107 @@
+"""Node certificates and the certification authority.
+
+Verme assumes (§4.1) "each node is assigned a certificate that binds
+its node identifier to the public key that speaks for its principal,
+and the platform type".  The evaluation never measures cryptographic
+CPU cost, so keys and signatures are *structural* simulations: what is
+enforced is exactly who can verify what and who can read what, plus the
+wire sizes of certificates and sealed payloads.
+
+Impersonation attacks (§5.3.1, §7.3) are modelled by issuing a
+certificate whose claimed type differs from the node's true type — the
+CA cannot tell (that is the attack premise), but the certificate is
+flagged so experiments can report on it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Set
+
+from ..ids.assignment import NodeType
+
+_key_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A simulated asymmetric key pair (opaque integers)."""
+
+    public: int
+    private: int
+
+    @staticmethod
+    def generate() -> "KeyPair":
+        n = next(_key_counter)
+        return KeyPair(public=n, private=-n)
+
+    def matches(self, public: int) -> bool:
+        return self.public == public
+
+
+@dataclass(frozen=True)
+class NodeCertificate:
+    """Binds a node id to a public key and a *claimed* platform type.
+
+    ``claimed_type`` is what the certificate asserts; ``true_type`` is
+    the node's actual platform, carried only for experiment bookkeeping
+    (it is never consulted by protocol code).
+    """
+
+    node_id: int
+    claimed_type: NodeType
+    public_key: int
+    issuer_id: int
+    true_type: NodeType = field(hash=False, compare=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.true_type is None:
+            object.__setattr__(self, "true_type", self.claimed_type)
+
+    @property
+    def is_impersonation(self) -> bool:
+        return self.claimed_type != self.true_type
+
+
+class CertificateError(ValueError):
+    """A certificate failed verification."""
+
+
+class CertificateAuthority:
+    """Issues and verifies node certificates.
+
+    The CA remembers the fingerprints of everything it issued; a
+    certificate verifies iff this CA issued it (the simulation stand-in
+    for checking the CA signature).
+    """
+
+    def __init__(self, issuer_id: int = 1) -> None:
+        self.issuer_id = issuer_id
+        self._issued: Set[NodeCertificate] = set()
+
+    def issue(self, node_id: int, node_type: NodeType) -> tuple[NodeCertificate, KeyPair]:
+        """Issue an honest certificate and its key pair."""
+        keys = KeyPair.generate()
+        cert = NodeCertificate(node_id, node_type, keys.public, self.issuer_id)
+        self._issued.add(cert)
+        return cert, keys
+
+    def issue_impersonated(
+        self, node_id: int, claimed_type: NodeType, true_type: NodeType
+    ) -> tuple[NodeCertificate, KeyPair]:
+        """Issue a certificate whose type claim is false (attack model)."""
+        keys = KeyPair.generate()
+        cert = NodeCertificate(
+            node_id, claimed_type, keys.public, self.issuer_id, true_type=true_type
+        )
+        self._issued.add(cert)
+        return cert, keys
+
+    def verify(self, cert: NodeCertificate) -> bool:
+        """Would a relying party accept this certificate?"""
+        return cert in self._issued and cert.issuer_id == self.issuer_id
+
+    def require_valid(self, cert: NodeCertificate) -> None:
+        if not self.verify(cert):
+            raise CertificateError(f"certificate for {cert.node_id:#x} not issued here")

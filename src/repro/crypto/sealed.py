@@ -1,0 +1,41 @@
+"""Sealed (encrypted-for-recipient) payloads.
+
+Verme lookup replies travel back through the reverse lookup path and
+must not disclose the returned network address to intermediate nodes
+(§4.5).  ``SealedPayload`` enforces that structurally: only the holder
+of the matching private key can open it; everyone else sees an opaque
+box of a known wire size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from .certificates import KeyPair
+
+
+class SealError(PermissionError):
+    """Attempt to open a sealed payload with the wrong key."""
+
+
+@dataclass(frozen=True)
+class SealedPayload:
+    """A payload readable only by the owner of ``recipient_public_key``."""
+
+    recipient_public_key: int
+    _payload: Any
+
+    def open(self, keys: KeyPair) -> Any:
+        """Decrypt with the recipient's key pair."""
+        if not keys.matches(self.recipient_public_key):
+            raise SealError("sealed payload opened with a non-matching key")
+        return self._payload
+
+    def __repr__(self) -> str:  # never leak the payload in logs
+        return f"SealedPayload(for={self.recipient_public_key})"
+
+
+def seal(recipient_public_key: int, payload: Any) -> SealedPayload:
+    """Encrypt ``payload`` for the holder of ``recipient_public_key``."""
+    return SealedPayload(recipient_public_key, payload)

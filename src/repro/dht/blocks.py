@@ -1,0 +1,64 @@
+"""Self-verifying data blocks and per-node block storage.
+
+DHash blocks are content-addressed: ``key = SHA-1(value)`` (paper
+§5.1), so any replica's answer can be verified by the client without
+trusting the replica.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..ids.assignment import key_for_value
+from ..ids.idspace import IdSpace
+
+
+class IntegrityError(ValueError):
+    """A fetched value does not hash to the requested key."""
+
+
+def block_key(space: IdSpace, value: bytes) -> int:
+    """The self-verifying key of ``value``."""
+    return key_for_value(space, value)
+
+
+def verify_block(space: IdSpace, key: int, value: bytes) -> None:
+    """Raise :class:`IntegrityError` unless ``value`` hashes to ``key``."""
+    if block_key(space, value) != key:
+        raise IntegrityError(f"value does not hash to key {key:#x}")
+
+
+class BlockStore:
+    """One node's local block storage."""
+
+    def __init__(self, space: IdSpace) -> None:
+        self.space = space
+        self._blocks: Dict[int, bytes] = {}
+
+    def put(self, key: int, value: bytes, verify: bool = True) -> None:
+        if verify:
+            verify_block(self.space, key, value)
+        self._blocks[key] = value
+
+    def get(self, key: int) -> Optional[bytes]:
+        return self._blocks.get(key)
+
+    def delete(self, key: int) -> None:
+        self._blocks.pop(key, None)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def keys(self) -> List[int]:
+        return list(self._blocks.keys())
+
+    def missing(self, keys: Iterable[int]) -> List[int]:
+        """Of ``keys``, the ones this store does not hold."""
+        return [k for k in keys if k not in self._blocks]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(len(v) for v in self._blocks.values())

@@ -1,0 +1,144 @@
+"""VerDi: shared replication logic for the DHT over Verme (paper §5.2).
+
+A data item with key *k* gets *n/2* replicas on the nodes of *k*'s
+section and *n/2* on the same position of the subsequent section (which
+is of the opposite type), so a worm outbreak in one type can neither
+harvest both replica groups nor wipe out all copies.  The corner case
+of a key falling past the last node of its section replicates toward
+the predecessors (handled by the in-section group construction).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..chord.state import NodeInfo
+from ..chord.rpc import RpcContext
+from ..chord.lookup import LookupPurpose
+from ..verme.node import VermeNode
+from .base import DhtConfig, DhtNode
+
+
+class VerDiNode(DhtNode):
+    """Common VerDi machinery; the three variants subclass this."""
+
+    def __init__(self, node: VermeNode, config: DhtConfig) -> None:
+        if not isinstance(node, VermeNode):
+            raise TypeError("VerDi requires a VermeNode")
+        self.layout = node.layout
+        super().__init__(node, config)
+
+    # -- replica placement ----------------------------------------------------------
+
+    def other_position(self, key: int) -> Optional[int]:
+        """Given that this node holds ``key``, the position of the other
+        replica group (None when this node is in neither group —
+        possible after heavy churn)."""
+        my_section = self.layout.section_index(self.node.node_id)
+        if self.layout.section_index(key) == my_section:
+            return self.layout.opposite_type_position(key)
+        alt = self.layout.opposite_type_position(key)
+        if self.layout.section_index(alt) == my_section:
+            return key
+        return None
+
+    def position_for_me(self, key: int) -> Optional[int]:
+        """The replica position (key or key + section) inside this
+        node's own section, if any."""
+        my_section = self.layout.section_index(self.node.node_id)
+        if self.layout.section_index(key) == my_section:
+            return key
+        alt = self.layout.opposite_type_position(key)
+        if self.layout.section_index(alt) == my_section:
+            return alt
+        return None
+
+    def _group_size(self) -> int:
+        return self.config.replicas_per_section
+
+    def _local_group_view(self, key: int) -> List[NodeInfo]:
+        """The in-section replica group members this node can see.
+
+        Mirrors the static construction: clockwise from the position's
+        owner, then counter-clockwise (the "replicate toward the
+        predecessors" corner rule), never leaving the section.
+        """
+        position = self.position_for_me(key)
+        if position is None:
+            return []
+        node = self.node
+        space = node.space
+        my_section = self.layout.section_index(node.node_id)
+        length = self.layout.section_length
+        candidates = {
+            e.node_id: e
+            for e in list(node.successors.entries)
+            + list(node.predecessors.entries)
+            + [node.info]
+            if self.layout.section_index(e.node_id) == my_section
+        }
+        after = sorted(
+            (e for e in candidates.values() if space.distance(position, e.node_id) < length),
+            key=lambda e: space.distance(position, e.node_id),
+        )
+        before = sorted(
+            (e for e in candidates.values() if space.distance(position, e.node_id) >= length),
+            key=lambda e: space.distance(e.node_id, position),
+        )
+        return (after + before)[: self._group_size()]
+
+    # -- adjusted lookups -------------------------------------------------------------
+
+    def adjusted_key(self, key: int) -> int:
+        """The replica position of the *opposite* type from this node
+        (§5.3.1: "the lookup operation adds the section length to the id
+        being looked up if necessary")."""
+        if self.layout.type_of(key) == int(self.node.node_type):
+            return self.layout.opposite_type_position(key)
+        return key
+
+    # -- cross-section copy (used by Fast/Compromise puts) ------------------------------
+
+    def _h_store(self, params: dict, ctx: RpcContext) -> None:
+        """Like the base store, plus VerDi's synchronous cross-section
+        copy: the responsible node only acknowledges a tagged put after
+        the other replica group (of the opposite type) holds a copy, so
+        the data is available to clients of both types (§5.3.1)."""
+        if not params.get("cross_copy"):
+            super()._h_store(params, ctx)
+            return
+        key, value = params["key"], params["value"]
+        try:
+            self.store.put(key, value)
+        except ValueError as exc:
+            ctx.fail(str(exc))
+            return
+        self.node.sim.schedule(0.0, self._replicate_key, key)
+        other = self.other_position(key)
+        if other is None:
+            ctx.respond({})  # degenerate placement; background sync will heal
+            return
+        self.node.lookup(
+            other,
+            on_done=lambda res: self._cross_copy_entries(key, value, res, ctx),
+            purpose=LookupPurpose.DHT,
+            category=self.DATA_CATEGORY,
+            op_tag=ctx.op_tag,
+        )
+
+    def _cross_copy_entries(self, key: int, value: bytes, res, ctx: RpcContext) -> None:
+        if not res.success or not res.entries:
+            ctx.fail(res.error or "cross-copy lookup failed")
+            return
+        target = res.entries[0]
+        self.node.rpc.call(
+            target.address,
+            "dht_store",
+            {"key": key, "value": value, "replicate": True},
+            on_reply=lambda _res: ctx.respond({}),
+            on_error=lambda err: ctx.fail(f"cross-copy store failed: {err}"),
+            timeout_s=self._data_timeout_s(),
+            size=self._store_request_bytes(value),
+            category=self.DATA_CATEGORY,
+            op_tag=ctx.op_tag,
+        )

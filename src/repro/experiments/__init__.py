@@ -1,0 +1,60 @@
+"""Experiment drivers, one per paper figure (see DESIGN.md §3)."""
+
+from .ablations import (
+    run_load_comparison,
+    run_multitype_containment,
+    run_naive_finger_ablation,
+    run_replication_availability,
+)
+from .builders import BuiltRing, ChordNodeFactory, VermeNodeFactory, build_ring
+from .dht_ops import (
+    DHT_SYSTEMS,
+    DhtCellResult,
+    DhtExperimentConfig,
+    run_dht_cell,
+    run_dht_experiment,
+)
+from .fig5_lookup_latency import SYSTEMS as FIG5_SYSTEMS
+from .fig5_lookup_latency import Fig5Config, run_cell, run_fig5
+from .fig6_dht_latency import latency_by_system, run_fig6
+from .fig7_dht_bandwidth import bytes_by_system, run_fig7
+from .fig8_worm_propagation import (
+    DEFAULT_HORIZONS,
+    Fig8Config,
+    averaged_curve_series,
+    run_fig8,
+    run_fig8_scenario,
+)
+from .records import DhtOpRow, Fig5Row, Fig8Row
+
+__all__ = [
+    "BuiltRing",
+    "ChordNodeFactory",
+    "DEFAULT_HORIZONS",
+    "DHT_SYSTEMS",
+    "DhtCellResult",
+    "DhtExperimentConfig",
+    "DhtOpRow",
+    "FIG5_SYSTEMS",
+    "Fig5Config",
+    "Fig5Row",
+    "Fig8Config",
+    "Fig8Row",
+    "VermeNodeFactory",
+    "averaged_curve_series",
+    "build_ring",
+    "bytes_by_system",
+    "latency_by_system",
+    "run_cell",
+    "run_dht_cell",
+    "run_dht_experiment",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig8_scenario",
+    "run_load_comparison",
+    "run_multitype_containment",
+    "run_naive_finger_ablation",
+    "run_replication_availability",
+]

@@ -1,0 +1,137 @@
+"""Shared construction helpers for the experiment drivers.
+
+Builds complete Chord or Verme rings (nodes + network + instant
+bootstrap) and provides the node factories the churn driver uses to
+rejoin replacements through the real protocol.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from ..chord.config import OverlayConfig
+from ..chord.node import ChordNode
+from ..chord.ring import Population, instant_bootstrap
+from ..crypto.certificates import CertificateAuthority
+from ..ids.assignment import NodeType
+from ..ids.sections import VermeIdLayout
+from ..net.addressing import NodeAddress
+from ..net.network import Network
+from ..sim import RngRegistry, Simulator
+from ..verme.node import VermeNode
+
+
+@dataclass
+class BuiltRing:
+    """A ready-to-run overlay: live nodes plus the pieces drivers need."""
+
+    sim: Simulator
+    network: Network
+    config: OverlayConfig
+    nodes: List[ChordNode]
+    population: Population
+    factory: "ChordNodeFactory"
+
+
+class ChordNodeFactory:
+    """Creates Chord nodes with fresh uniformly random ids."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        config: OverlayConfig,
+        rngs: RngRegistry,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.config = config
+        self.rngs = rngs
+        self._id_rng = rngs.stream("node-ids")
+        self._used_ids: Set[int] = set()
+
+    def _fresh_id(self) -> int:
+        while True:
+            candidate = self._id_rng.getrandbits(self.config.space.bits)
+            if candidate not in self._used_ids:
+                self._used_ids.add(candidate)
+                return candidate
+
+    def create(self, host_slot: int, incarnation: int) -> ChordNode:
+        address = NodeAddress(host_slot, incarnation)
+        jitter = self.rngs.stream(f"jitter-{host_slot}-{incarnation}")
+        return ChordNode(
+            self.sim, self.network, self.config, self._fresh_id(), address, jitter
+        )
+
+
+class VermeNodeFactory(ChordNodeFactory):
+    """Creates Verme nodes; each host slot has a fixed platform type
+    (machines do not change platforms when their node restarts)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        config: OverlayConfig,
+        rngs: RngRegistry,
+        layout: VermeIdLayout,
+        ca: Optional[CertificateAuthority] = None,
+    ) -> None:
+        super().__init__(sim, network, config, rngs)
+        self.layout = layout
+        self.ca = ca if ca is not None else CertificateAuthority()
+
+    def type_for_host(self, host_slot: int) -> NodeType:
+        return NodeType(host_slot % 2)
+
+    def _fresh_typed_id(self, node_type: NodeType) -> int:
+        while True:
+            candidate = self.layout.random_id(self._id_rng, node_type)
+            if candidate not in self._used_ids:
+                self._used_ids.add(candidate)
+                return candidate
+
+    def create(self, host_slot: int, incarnation: int) -> VermeNode:
+        node_type = self.type_for_host(host_slot)
+        node_id = self._fresh_typed_id(node_type)
+        cert, keys = self.ca.issue(node_id, node_type)
+        address = NodeAddress(host_slot, incarnation)
+        jitter = self.rngs.stream(f"jitter-{host_slot}-{incarnation}")
+        return VermeNode(
+            self.sim,
+            self.network,
+            self.config,
+            self.layout,
+            cert,
+            keys,
+            self.ca,
+            address,
+            jitter,
+        )
+
+
+def build_ring(
+    sim: Simulator,
+    network: Network,
+    config: OverlayConfig,
+    num_nodes: int,
+    rngs: RngRegistry,
+    layout: Optional[VermeIdLayout] = None,
+) -> BuiltRing:
+    """Create ``num_nodes`` nodes (Verme when ``layout`` is given) on
+    host slots 0..n-1, instantly bootstrapped into a converged ring."""
+    if layout is not None:
+        factory: ChordNodeFactory = VermeNodeFactory(
+            sim, network, config, rngs, layout
+        )
+    else:
+        factory = ChordNodeFactory(sim, network, config, rngs)
+    nodes = [factory.create(slot, 0) for slot in range(num_nodes)]
+    instant_bootstrap(nodes)
+    population = Population()
+    for node in nodes:
+        population.add(node)
+    return BuiltRing(sim, network, config, nodes, population, factory)

@@ -1,0 +1,32 @@
+"""Figure 6: DHT get/put latency (a view over the shared DHT runner).
+
+See :mod:`repro.experiments.dht_ops` for the setup; this module selects
+the latency columns and checks the expected ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .dht_ops import DhtExperimentConfig, run_dht_experiment
+from .records import DhtOpRow
+
+
+def run_fig6(
+    config: DhtExperimentConfig,
+    systems: Sequence[str] = ("dhash", "fast-verdi", "secure-verdi", "compromise-verdi"),
+) -> List[DhtOpRow]:
+    results = run_dht_experiment(config, systems)
+    rows: List[DhtOpRow] = []
+    for res in results:
+        rows.extend(res.rows())
+    return rows
+
+
+def latency_by_system(rows: Sequence[DhtOpRow], operation: str) -> Dict[str, float]:
+    """Mean latency per system for one operation (plot-ready)."""
+    return {
+        row.system: row.mean_latency_s
+        for row in rows
+        if row.operation == operation
+    }

@@ -1,0 +1,31 @@
+"""Figure 7: DHT get/put bandwidth (a view over the shared DHT runner).
+
+See :mod:`repro.experiments.dht_ops` for the setup; this module selects
+the per-operation byte columns.  Background replica creation is not
+tagged with operation ids, so — as in the paper — it is excluded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .dht_ops import DhtExperimentConfig, run_dht_experiment
+from .records import DhtOpRow
+
+
+def run_fig7(
+    config: DhtExperimentConfig,
+    systems: Sequence[str] = ("dhash", "fast-verdi", "secure-verdi", "compromise-verdi"),
+) -> List[DhtOpRow]:
+    results = run_dht_experiment(config, systems)
+    rows: List[DhtOpRow] = []
+    for res in results:
+        rows.extend(res.rows())
+    return rows
+
+
+def bytes_by_system(rows: Sequence[DhtOpRow], operation: str) -> Dict[str, float]:
+    """Mean bytes per operation per system (plot-ready)."""
+    return {
+        row.system: row.mean_bytes for row in rows if row.operation == operation
+    }

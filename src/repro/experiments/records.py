@@ -1,0 +1,51 @@
+"""Typed result rows for the reproduced figures.
+
+Each experiment driver returns a list of these; the benchmark harnesses
+print them as tables and EXPERIMENTS.md records them next to the
+paper's values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Fig5Row:
+    """One point of Fig. 5 plus the §7.1 text metrics."""
+
+    system: str                      # chord-transitive / chord-recursive / verme
+    mean_lifetime_s: float
+    mean_latency_s: float
+    median_latency_s: float
+    mean_hops: float
+    failure_rate: float
+    lookups: int
+    maintenance_bytes_per_node_s: float
+
+
+@dataclass(frozen=True)
+class DhtOpRow:
+    """One bar of Fig. 6 (latency) and Fig. 7 (bandwidth)."""
+
+    system: str                      # dhash / fast-verdi / secure-verdi / compromise-verdi
+    operation: str                   # get / put
+    mean_latency_s: float
+    median_latency_s: float
+    mean_bytes: float
+    operations: int
+    failures: int
+
+
+@dataclass(frozen=True)
+class Fig8Row:
+    """One curve of Fig. 8, summarised."""
+
+    scenario: str
+    population: int
+    vulnerable: int
+    final_infected: int
+    time_to_10pct_s: Optional[float]
+    time_to_50pct_s: Optional[float]
+    time_to_95pct_s: Optional[float]

@@ -1,0 +1,152 @@
+"""Command-line experiment runner.
+
+Regenerate any paper figure (or the ablations) from the shell::
+
+    python -m repro.experiments.runner fig5 [--paper-scale]
+    python -m repro.experiments.runner fig6
+    python -m repro.experiments.runner fig7
+    python -m repro.experiments.runner fig8 [--runs 10]
+    python -m repro.experiments.runner ablations
+
+Scaled-down parameters by default (seconds to minutes); ``--paper-scale``
+switches to the paper's §7 configurations (minutes to an hour).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from ..analysis.export import write_rows_csv, write_series_csv
+from ..analysis.tables import format_table
+from ..worm import WormScenarioConfig
+from .ablations import (
+    run_load_comparison,
+    run_multitype_containment,
+    run_naive_finger_ablation,
+    run_replication_availability,
+)
+from .dht_ops import DhtExperimentConfig, run_dht_experiment
+from .fig5_lookup_latency import Fig5Config, run_fig5
+from .fig8_worm_propagation import Fig8Config, run_fig8
+
+
+def _fig5(args) -> None:
+    cfg = Fig5Config()
+    if args.paper_scale:
+        cfg = cfg.paper_scale()
+    rows = run_fig5(cfg)
+    if args.csv:
+        print(f"wrote {write_rows_csv(Path(args.csv) / 'fig5.csv', rows)}")
+    print(format_table(
+        ["system", "lifetime_s", "mean_lat_s", "hops", "fail_rate",
+         "lookups", "maint_B/node/s"],
+        [[r.system, r.mean_lifetime_s, round(r.mean_latency_s, 4),
+          round(r.mean_hops, 2), round(r.failure_rate, 4), r.lookups,
+          round(r.maintenance_bytes_per_node_s, 1)] for r in rows],
+    ))
+
+
+def _fig67(args, which: str) -> None:
+    cfg = DhtExperimentConfig(num_nodes=400, num_sections=32)
+    if args.paper_scale:
+        cfg = cfg.paper_scale()
+    results = run_dht_experiment(cfg)
+    if args.csv:
+        flat = [row for res in results for row in res.rows()]
+        print(f"wrote {write_rows_csv(Path(args.csv) / (which + '.csv'), flat)}")
+    rows = []
+    for res in results:
+        for row in res.rows():
+            if which == "fig6":
+                rows.append([row.system, row.operation,
+                             round(row.mean_latency_s, 3),
+                             round(row.median_latency_s, 3), row.operations])
+            else:
+                rows.append([row.system, row.operation,
+                             round(row.mean_bytes / 1024, 1), row.operations])
+    headers = (
+        ["system", "op", "mean_lat_s", "median_lat_s", "ops"]
+        if which == "fig6"
+        else ["system", "op", "mean_KiB", "ops"]
+    )
+    print(format_table(headers, rows))
+
+
+def _fig8(args) -> None:
+    cfg = Fig8Config(runs=args.runs)
+    if args.paper_scale:
+        cfg = cfg.paper_scale()
+    rows = run_fig8(cfg)
+    if args.csv:
+        print(f"wrote {write_rows_csv(Path(args.csv) / 'fig8.csv', rows)}")
+        from .fig8_worm_propagation import averaged_curve_series
+
+        series = averaged_curve_series(cfg)
+        print(f"wrote {write_series_csv(Path(args.csv) / 'fig8_curves.csv', series)}")
+        from ..analysis.asciiplot import strip_chart
+
+        print(strip_chart(series))
+    print(format_table(
+        ["scenario", "population", "vulnerable", "final_infected",
+         "t10%_s", "t50%_s", "t95%_s"],
+        [[r.scenario, r.population, r.vulnerable, r.final_infected,
+          _r(r.time_to_10pct_s), _r(r.time_to_50pct_s), _r(r.time_to_95pct_s)]
+         for r in rows],
+    ))
+
+
+def _ablations(args) -> None:
+    cfg = WormScenarioConfig(num_nodes=3000, num_sections=128, seed=9)
+    nf = run_naive_finger_ablation(cfg, until=200.0)
+    print("finger displacement:")
+    print(f"  displaced fingers : {nf.infected_with_displacement}/{nf.vulnerable} infected")
+    print(f"  naive fingers     : {nf.infected_naive_fingers}/{nf.vulnerable} infected")
+    av = run_replication_availability(cfg)
+    print("replication vs type-wide outbreak:")
+    print(f"  two sections   : {av.survivors_two_sections:.1%} keys readable")
+    print(f"  single section : {av.survivors_single_section:.1%} keys readable")
+    load = run_load_comparison()
+    print("ownership load (gini):"
+          f" chord={load.chord.gini:.3f} verme={load.verme.gini:.3f}"
+          f" (corner rule on {load.verme.predecessor_rule_fraction:.1%} of keys)")
+    for tb in (1, 2, 3):
+        mt = run_multitype_containment(type_bits=tb)
+        print(f"{mt.num_types} types: worm confined to "
+              f"{mt.infected}/{mt.vulnerable} vulnerable nodes")
+
+
+def _r(v):
+    return None if v is None else round(v, 1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "figure", choices=["fig5", "fig6", "fig7", "fig8", "ablations"]
+    )
+    parser.add_argument("--paper-scale", action="store_true")
+    parser.add_argument("--csv", metavar="DIR", default=None,
+                        help="also export the figure's data as CSV into DIR")
+    parser.add_argument("--runs", type=int, default=2, help="fig8 repetitions")
+    args = parser.parse_args(argv)
+    started = time.time()
+    if args.figure == "fig5":
+        _fig5(args)
+    elif args.figure in ("fig6", "fig7"):
+        _fig67(args, args.figure)
+    elif args.figure == "fig8":
+        _fig8(args)
+    else:
+        _ablations(args)
+    print(f"\n[{args.figure} done in {time.time() - started:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Identifier space, id assignment, and Verme section geometry."""
+
+from .assignment import (
+    NodeType,
+    chord_id_for_address,
+    key_for_value,
+    random_chord_id,
+    sha1_id,
+)
+from .idspace import DEFAULT_ID_BITS, DEFAULT_SPACE, IdSpace
+from .sections import VermeIdLayout
+
+__all__ = [
+    "DEFAULT_ID_BITS",
+    "DEFAULT_SPACE",
+    "IdSpace",
+    "NodeType",
+    "VermeIdLayout",
+    "chord_id_for_address",
+    "key_for_value",
+    "random_chord_id",
+    "sha1_id",
+]

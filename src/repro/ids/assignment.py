@@ -1,0 +1,58 @@
+"""Identifier assignment for Chord and Verme nodes.
+
+Chord assigns uniformly distributed ids, e.g. SHA-1 over the node's
+network address (paper §4.2).  Verme constrains the middle bits to the
+node's type (see :mod:`repro.ids.sections`).  Both styles are provided
+here, along with the two-type vocabulary the paper uses throughout.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import random
+
+from .idspace import IdSpace
+
+
+class NodeType(enum.IntEnum):
+    """The paper's two platform types ("two distinct types without
+    common vulnerabilities", §4.1).  The integer value is the type field
+    stored in the middle bits of a Verme id."""
+
+    A = 0
+    B = 1
+
+    @property
+    def opposite(self) -> "NodeType":
+        return NodeType.B if self is NodeType.A else NodeType.A
+
+
+def sha1_id(space: IdSpace, data: bytes) -> int:
+    """Hash arbitrary bytes onto the id ring (SHA-1, as in Chord/DHash).
+
+    For spaces narrower than 160 bits the digest is truncated; for wider
+    spaces it is extended by re-hashing, so the result is always uniform.
+    """
+    digest = b""
+    counter = 0
+    needed = (space.bits + 7) // 8
+    while len(digest) < needed:
+        digest += hashlib.sha1(data + counter.to_bytes(4, "big")).digest()
+        counter += 1
+    return int.from_bytes(digest[:needed], "big") & (space.size - 1)
+
+
+def chord_id_for_address(space: IdSpace, host: str, port: int) -> int:
+    """Chord's id assignment: SHA-1 of the network address and port."""
+    return sha1_id(space, f"{host}:{port}".encode("utf-8"))
+
+
+def random_chord_id(space: IdSpace, rng: random.Random) -> int:
+    """A uniformly random Chord id (used by simulations)."""
+    return rng.getrandbits(space.bits)
+
+
+def key_for_value(space: IdSpace, value: bytes) -> int:
+    """DHash's self-verifying key: the content hash of the value."""
+    return sha1_id(space, value)

@@ -1,0 +1,76 @@
+"""Circular identifier-space arithmetic.
+
+Chord and Verme both place nodes and keys on a ring of ``2**bits``
+identifiers (the paper uses 160-bit SHA-1 ids).  All interval tests here
+are *clockwise*: ``in_open(x, a, b)`` asks whether walking clockwise
+from ``a`` you meet ``x`` strictly before ``b``.  These predicates are
+the foundation every routing decision rests on, so they are kept tiny
+and heavily property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DEFAULT_ID_BITS = 160
+
+
+@dataclass(frozen=True)
+class IdSpace:
+    """A ring of ``2**bits`` identifiers with clockwise interval tests."""
+
+    bits: int = DEFAULT_ID_BITS
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError("id space needs at least one bit")
+
+    @property
+    def size(self) -> int:
+        return 1 << self.bits
+
+    def validate(self, ident: int) -> int:
+        """Return ``ident`` if it is a valid id, else raise ``ValueError``."""
+        if not 0 <= ident < self.size:
+            raise ValueError(f"id {ident:#x} outside {self.bits}-bit space")
+        return ident
+
+    def wrap(self, value: int) -> int:
+        """Reduce an arbitrary integer onto the ring."""
+        return value & (self.size - 1)
+
+    def distance(self, a: int, b: int) -> int:
+        """Clockwise distance from ``a`` to ``b`` (0 when equal)."""
+        return (b - a) & (self.size - 1)
+
+    def in_open(self, x: int, a: int, b: int) -> bool:
+        """True iff ``x`` lies in the clockwise-open interval ``(a, b)``.
+
+        When ``a == b`` the interval is the whole ring minus ``a`` —
+        the standard Chord convention, which makes a single-node ring
+        its own successor for every key.
+        """
+        if a == b:
+            return x != a
+        return 0 < self.distance(a, x) < self.distance(a, b)
+
+    def in_half_open(self, x: int, a: int, b: int) -> bool:
+        """True iff ``x`` lies in ``(a, b]`` walking clockwise."""
+        if a == b:
+            return True
+        return 0 < self.distance(a, x) <= self.distance(a, b)
+
+    def in_closed_open(self, x: int, a: int, b: int) -> bool:
+        """True iff ``x`` lies in ``[a, b)`` walking clockwise."""
+        if a == b:
+            return True
+        return self.distance(a, x) < self.distance(a, b)
+
+    def power_of_two_target(self, ident: int, k: int) -> int:
+        """Chord's k-th finger target: ``ident + 2**k`` on the ring."""
+        if not 0 <= k < self.bits:
+            raise ValueError(f"finger index {k} outside [0, {self.bits})")
+        return self.wrap(ident + (1 << k))
+
+
+DEFAULT_SPACE = IdSpace(DEFAULT_ID_BITS)

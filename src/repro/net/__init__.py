@@ -1,0 +1,65 @@
+"""Network substrate: addresses, messages, latency models, topologies."""
+
+from .accounting import ByteAccounting
+from .addressing import NodeAddress
+from .gtitm import (
+    DEFAULT_ACCESS_CLASSES,
+    AccessClass,
+    GtItmConfig,
+    GtItmTopology,
+    gtitm_topology,
+)
+from .king import KING_MEAN_RTT_S, KING_NUM_HOSTS, king_matrix
+from .latency import (
+    BandwidthModel,
+    ConstantBandwidth,
+    ConstantLatency,
+    LatencyModel,
+    MatrixBandwidth,
+    MatrixLatency,
+    transfer_delay,
+)
+from .message import (
+    ADDR_BYTES,
+    CERT_BYTES,
+    DEFAULT_BLOCK_BYTES,
+    HEADER_BYTES,
+    ID_BYTES,
+    RPC_META_BYTES,
+    SEALED_OVERHEAD_BYTES,
+    SIGNATURE_BYTES,
+    Message,
+    entry_bytes,
+)
+from .network import Network
+
+__all__ = [
+    "ADDR_BYTES",
+    "AccessClass",
+    "BandwidthModel",
+    "ByteAccounting",
+    "CERT_BYTES",
+    "ConstantBandwidth",
+    "ConstantLatency",
+    "DEFAULT_ACCESS_CLASSES",
+    "DEFAULT_BLOCK_BYTES",
+    "GtItmConfig",
+    "GtItmTopology",
+    "HEADER_BYTES",
+    "ID_BYTES",
+    "KING_MEAN_RTT_S",
+    "KING_NUM_HOSTS",
+    "LatencyModel",
+    "MatrixBandwidth",
+    "MatrixLatency",
+    "Message",
+    "Network",
+    "NodeAddress",
+    "RPC_META_BYTES",
+    "SEALED_OVERHEAD_BYTES",
+    "SIGNATURE_BYTES",
+    "entry_bytes",
+    "gtitm_topology",
+    "king_matrix",
+    "transfer_delay",
+]

@@ -1,0 +1,45 @@
+"""Byte accounting for bandwidth figures.
+
+Fig. 7 reports bytes per DHT operation; §7.1 compares maintenance and
+lookup bandwidth between Chord and Verme.  Every message sent through
+:class:`repro.net.network.Network` is recorded here, bucketed both by
+*category* (``maintenance``, ``lookup``, ``data`` ...) and, when the
+message belongs to a tagged DHT operation, by the operation tag.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional
+
+
+class ByteAccounting:
+    """Running byte and message counters."""
+
+    def __init__(self) -> None:
+        self.bytes_by_category: Dict[str, int] = defaultdict(int)
+        self.messages_by_category: Dict[str, int] = defaultdict(int)
+        self.bytes_by_op: Dict[int, int] = defaultdict(int)
+        self.total_bytes = 0
+        self.total_messages = 0
+
+    def record(self, category: str, size: int, op_tag: Optional[int] = None) -> None:
+        self.bytes_by_category[category] += size
+        self.messages_by_category[category] += 1
+        self.total_bytes += size
+        self.total_messages += 1
+        if op_tag is not None:
+            self.bytes_by_op[op_tag] += size
+
+    def bytes_for_op(self, op_tag: int) -> int:
+        return self.bytes_by_op.get(op_tag, 0)
+
+    def category_bytes(self, category: str) -> int:
+        return self.bytes_by_category.get(category, 0)
+
+    def reset(self) -> None:
+        self.bytes_by_category.clear()
+        self.messages_by_category.clear()
+        self.bytes_by_op.clear()
+        self.total_bytes = 0
+        self.total_messages = 0

@@ -1,0 +1,30 @@
+"""Network addresses for simulated nodes.
+
+An address identifies a protocol endpoint; the ``host_slot`` indexes the
+underlying *physical host* in the latency/bandwidth matrices, so that a
+node which leaves and is replaced by a fresh node on the same machine
+(the churn model) keeps its network coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NodeAddress:
+    """An endpoint: a host slot plus an incarnation number.
+
+    Two incarnations of the same host slot are *different* endpoints —
+    messages addressed to a dead incarnation are dropped even if a new
+    node has since joined from the same host.
+    """
+
+    host_slot: int
+    incarnation: int = 0
+
+    def next_incarnation(self) -> "NodeAddress":
+        return NodeAddress(self.host_slot, self.incarnation + 1)
+
+    def __str__(self) -> str:
+        return f"h{self.host_slot}.{self.incarnation}"

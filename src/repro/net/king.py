@@ -1,0 +1,61 @@
+"""Synthetic stand-in for the p2psim King latency data set.
+
+The paper's Fig. 5 experiments used a 1740x1740 matrix of inter-node
+latencies measured between DNS servers with the King method (mean RTT
+198 ms).  That file is no longer distributed, so we synthesise a matrix
+with the same qualitative properties:
+
+* hosts embedded in a low-dimensional Euclidean space (geography),
+* a per-pair multiplicative lognormal jitter, applied *asymmetrically*
+  so forward and reverse one-way delays differ slightly (as real King
+  measurements do, and as triangle-inequality violations require),
+* a minimum per-hop floor, and
+* calibration of the overall scale so the mean RTT matches the paper's
+  198 ms (configurable).
+
+Only the RTT *distribution* matters to the reproduced results; see
+DESIGN.md §5 for the substitution argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .latency import MatrixLatency
+
+KING_NUM_HOSTS = 1740
+KING_MEAN_RTT_S = 0.198
+
+
+def king_matrix(
+    num_hosts: int = KING_NUM_HOSTS,
+    mean_rtt_s: float = KING_MEAN_RTT_S,
+    seed: int = 0,
+    dimensions: int = 5,
+    jitter_sigma: float = 0.25,
+    floor_s: float = 0.002,
+) -> MatrixLatency:
+    """Build a synthetic King-style one-way latency matrix.
+
+    ``jitter_sigma`` is the sigma of the lognormal multiplicative noise;
+    ``floor_s`` is the minimum one-way latency between distinct hosts.
+    """
+    if num_hosts < 2:
+        raise ValueError("need at least two hosts")
+    rng = np.random.default_rng(seed)
+    points = rng.random((num_hosts, dimensions))
+    # Pairwise Euclidean distances (symmetric base geography).
+    diff = points[:, None, :] - points[None, :, :]
+    base = np.sqrt((diff * diff).sum(axis=2))
+    # Asymmetric lognormal jitter per directed pair.
+    jitter = rng.lognormal(mean=0.0, sigma=jitter_sigma, size=(num_hosts, num_hosts))
+    one_way = base * jitter
+    np.fill_diagonal(one_way, 0.0)
+    one_way = np.maximum(one_way, floor_s)
+    np.fill_diagonal(one_way, 0.0)
+    # Calibrate so the mean RTT over distinct pairs equals mean_rtt_s.
+    n = num_hosts
+    current_mean_rtt = (one_way.sum() + one_way.T.sum()) / (n * (n - 1))
+    one_way *= mean_rtt_s / current_mean_rtt
+    np.fill_diagonal(one_way, 0.0)
+    return MatrixLatency(one_way)

@@ -1,0 +1,110 @@
+"""Latency and bandwidth models between physical hosts.
+
+A model maps a pair of host slots to a one-way latency in seconds and,
+optionally, to an available bandwidth in bytes/second used for bulk
+transfers.  Concrete topologies (synthetic King, GT-ITM) construct the
+matrix forms defined here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class LatencyModel(Protocol):
+    """One-way host-to-host latency in seconds."""
+
+    num_hosts: int
+
+    def latency(self, a: int, b: int) -> float: ...
+
+
+@runtime_checkable
+class BandwidthModel(Protocol):
+    """Available end-to-end bandwidth in bytes/second."""
+
+    def bandwidth(self, a: int, b: int) -> float: ...
+
+
+@dataclass(frozen=True)
+class ConstantLatency:
+    """Every pair is ``rtt/2`` away; handy for unit tests."""
+
+    num_hosts: int
+    one_way: float = 0.05
+
+    def latency(self, a: int, b: int) -> float:
+        if a == b:
+            return 0.0
+        return self.one_way
+
+
+class MatrixLatency:
+    """Latency from a dense ``(n, n)`` matrix of one-way delays."""
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("latency matrix must be square")
+        if (matrix < 0).any():
+            raise ValueError("latencies must be non-negative")
+        self._matrix = matrix
+        self.num_hosts = matrix.shape[0]
+
+    def latency(self, a: int, b: int) -> float:
+        return float(self._matrix[a, b])
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._matrix
+
+    def mean_rtt(self) -> float:
+        """Mean round-trip time over distinct host pairs (seconds)."""
+        n = self.num_hosts
+        if n < 2:
+            return 0.0
+        total = self._matrix.sum() + self._matrix.T.sum()
+        self_total = 2.0 * np.trace(self._matrix)
+        return float((total - self_total) / (n * (n - 1)))
+
+
+class MatrixBandwidth:
+    """Bandwidth from a dense ``(n, n)`` matrix of bytes/second."""
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("bandwidth matrix must be square")
+        if (matrix <= 0).any():
+            raise ValueError("bandwidths must be positive")
+        self._matrix = matrix
+        self.num_hosts = matrix.shape[0]
+
+    def bandwidth(self, a: int, b: int) -> float:
+        return float(self._matrix[a, b])
+
+
+@dataclass(frozen=True)
+class ConstantBandwidth:
+    """Uniform bandwidth for every pair (bytes/second)."""
+
+    bytes_per_second: float = 1.25e6  # 10 Mbit/s
+
+    def bandwidth(self, a: int, b: int) -> float:
+        return self.bytes_per_second
+
+
+def transfer_delay(
+    size_bytes: int,
+    latency_s: float,
+    bandwidth: Optional[float],
+) -> float:
+    """Propagation plus serialisation delay for one message."""
+    delay = latency_s
+    if bandwidth is not None and bandwidth > 0:
+        delay += size_bytes / bandwidth
+    return delay

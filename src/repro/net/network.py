@@ -1,0 +1,119 @@
+"""Message delivery fabric.
+
+``Network`` connects protocol endpoints over a latency (and optional
+bandwidth) model.  Sending is fire-and-forget: the message is delivered
+to the destination's handler after the propagation (plus serialisation)
+delay, silently dropped if the destination has left the overlay by
+then, or dropped up-front by the optional loss model.  Request/response
+matching, timeouts and retries live one layer up, in
+:mod:`repro.chord.rpc`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Optional
+
+from ..sim import Simulator
+from .accounting import ByteAccounting
+from .addressing import NodeAddress
+from .latency import BandwidthModel, LatencyModel, transfer_delay
+from .message import Message
+
+Handler = Callable[[Message], None]
+
+
+class Network:
+    """Delivers :class:`Message` objects between registered endpoints."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency_model: LatencyModel,
+        bandwidth_model: Optional[BandwidthModel] = None,
+        accounting: Optional[ByteAccounting] = None,
+        loss_rate: float = 0.0,
+        loss_rng: Optional[random.Random] = None,
+        contended_uplinks: bool = False,
+    ) -> None:
+        """``contended_uplinks`` serialises a host's outgoing transfers
+        on its uplink (back-to-back departures) instead of letting
+        overlapping sends proceed independently — a higher-fidelity
+        model for hosts pushing several bulk transfers at once.  It
+        requires a bandwidth model."""
+        if loss_rate and loss_rng is None:
+            raise ValueError("a loss_rate needs a loss_rng for determinism")
+        if contended_uplinks and bandwidth_model is None:
+            raise ValueError("contended uplinks require a bandwidth model")
+        self.sim = sim
+        self.latency_model = latency_model
+        self.bandwidth_model = bandwidth_model
+        self.accounting = accounting if accounting is not None else ByteAccounting()
+        self.loss_rate = loss_rate
+        self._loss_rng = loss_rng
+        self.contended_uplinks = contended_uplinks
+        self._uplink_free_at: Dict[int, float] = {}
+        self._endpoints: Dict[NodeAddress, Handler] = {}
+        self.dropped_messages = 0
+
+    # -- membership ----------------------------------------------------------
+
+    def register(self, address: NodeAddress, handler: Handler) -> None:
+        if address in self._endpoints:
+            raise ValueError(f"address {address} already registered")
+        if not 0 <= address.host_slot < self.latency_model.num_hosts:
+            raise ValueError(
+                f"host slot {address.host_slot} outside latency model "
+                f"({self.latency_model.num_hosts} hosts)"
+            )
+        self._endpoints[address] = handler
+
+    def unregister(self, address: NodeAddress) -> None:
+        self._endpoints.pop(address, None)
+
+    def is_registered(self, address: NodeAddress) -> bool:
+        return address in self._endpoints
+
+    # -- delivery -------------------------------------------------------------
+
+    def send(
+        self,
+        src: NodeAddress,
+        dst: NodeAddress,
+        payload: Any,
+        size: int,
+        category: str = "other",
+        op_tag: Optional[int] = None,
+    ) -> None:
+        """Send ``payload`` from ``src`` to ``dst``.
+
+        Bytes are accounted at send time (the sender pays for lost
+        messages too, as on a real network).
+        """
+        msg = Message(src, dst, payload, size, category, op_tag)
+        self.accounting.record(category, msg.size, op_tag)
+        if self.loss_rate and self._loss_rng.random() < self.loss_rate:
+            self.dropped_messages += 1
+            return
+        latency = self.latency_model.latency(src.host_slot, dst.host_slot)
+        bandwidth = None
+        if self.bandwidth_model is not None:
+            bandwidth = self.bandwidth_model.bandwidth(src.host_slot, dst.host_slot)
+        if self.contended_uplinks and bandwidth:
+            # Serialise on the sender's uplink: this transfer starts
+            # when the previous one has fully departed.
+            now = self.sim.now
+            start = max(now, self._uplink_free_at.get(src.host_slot, now))
+            departure = start + msg.size / bandwidth
+            self._uplink_free_at[src.host_slot] = departure
+            self.sim.schedule(departure - now + latency, self._deliver, msg)
+            return
+        delay = transfer_delay(msg.size, latency, bandwidth)
+        self.sim.schedule(delay, self._deliver, msg)
+
+    def _deliver(self, msg: Message) -> None:
+        handler = self._endpoints.get(msg.dst)
+        if handler is None:
+            self.dropped_messages += 1
+            return
+        handler(msg)

@@ -1,0 +1,15 @@
+"""Static overlay snapshots (converged routing state from ids alone)."""
+
+from .snapshot import (
+    NaiveFingerVermeOverlay,
+    OwnerDecision,
+    StaticOverlay,
+    VermeStaticOverlay,
+)
+
+__all__ = [
+    "NaiveFingerVermeOverlay",
+    "OwnerDecision",
+    "StaticOverlay",
+    "VermeStaticOverlay",
+]

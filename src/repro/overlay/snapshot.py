@@ -1,0 +1,235 @@
+"""Static overlay snapshots.
+
+Computes, from a sorted id population alone, the exact routing state a
+converged overlay would hold: successor/predecessor lists, finger
+tables, and key ownership.  Three consumers:
+
+* **instant bootstrap** — the experiment rings are initialised with
+  converged state instead of paying O(N) protocol joins (p2psim does
+  the same);
+* **the worm simulations** — the paper's Fig. 8 runs on a 100,000-node
+  *static* overlay, far past what a live protocol simulation in Python
+  should be asked to maintain;
+* **tests** — protocol-built state is checked against this ground truth.
+
+Everything here is O(log N) per query via bisect.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..chord.state import NodeInfo
+from ..ids.idspace import IdSpace
+from ..ids.sections import VermeIdLayout
+from ..verme.fingers import verme_finger_target
+
+
+@dataclass(frozen=True)
+class OwnerDecision:
+    """Who owns a key, and whether the predecessor corner rule fired."""
+
+    index: int
+    via_predecessor_rule: bool
+
+
+class StaticOverlay:
+    """Chord ownership and routing state over a fixed population."""
+
+    def __init__(self, space: IdSpace, infos: Sequence[NodeInfo]) -> None:
+        if not infos:
+            raise ValueError("an overlay needs at least one node")
+        self.space = space
+        self.infos: List[NodeInfo] = sorted(infos, key=lambda i: i.node_id)
+        self.ids: List[int] = [i.node_id for i in self.infos]
+        if len(set(self.ids)) != len(self.ids):
+            raise ValueError("duplicate node ids in overlay population")
+
+    def __len__(self) -> int:
+        return len(self.infos)
+
+    # -- basic geometry --------------------------------------------------------
+
+    def index_of(self, node_id: int) -> int:
+        i = bisect_left(self.ids, node_id)
+        if i == len(self.ids) or self.ids[i] != node_id:
+            raise KeyError(f"node id {node_id:#x} not in overlay")
+        return i
+
+    def successor_index(self, key: int) -> int:
+        """Index of the first node clockwise from ``key`` (inclusive)."""
+        i = bisect_left(self.ids, key)
+        return i % len(self.ids)
+
+    def predecessor_index(self, key: int) -> int:
+        """Index of the last node strictly before ``key`` (clockwise)."""
+        i = bisect_left(self.ids, key)
+        return (i - 1) % len(self.ids)
+
+    def at(self, index: int) -> NodeInfo:
+        return self.infos[index % len(self.infos)]
+
+    # -- routing state ----------------------------------------------------------
+
+    def successor_list(self, index: int, count: int) -> List[NodeInfo]:
+        n = len(self.infos)
+        count = min(count, n - 1)
+        return [self.infos[(index + 1 + j) % n] for j in range(count)]
+
+    def predecessor_list(self, index: int, count: int) -> List[NodeInfo]:
+        n = len(self.infos)
+        count = min(count, n - 1)
+        return [self.infos[(index - 1 - j) % n] for j in range(count)]
+
+    def owner(self, key: int) -> OwnerDecision:
+        """Chord: a key is owned by its successor, unconditionally."""
+        return OwnerDecision(self.successor_index(key), False)
+
+    def finger_target(self, node_id: int, k: int) -> int:
+        return self.space.power_of_two_target(node_id, k)
+
+    def maintained_finger_indices(self, index: int) -> List[int]:
+        """Finger numbers not covered by the node's first successor."""
+        node_id = self.ids[index]
+        succ = self.infos[(index + 1) % len(self.infos)]
+        span = self.space.distance(node_id, succ.node_id)
+        if span == 0:  # single-node overlay
+            return []
+        return [k for k in range(self.space.bits) if (1 << k) > span]
+
+    def finger_table(self, index: int) -> dict[int, NodeInfo]:
+        """Converged finger table of the node at ``index``."""
+        node_id = self.ids[index]
+        fingers: dict[int, NodeInfo] = {}
+        for k in self.maintained_finger_indices(index):
+            target = self.finger_target(node_id, k)
+            owner = self.infos[self.owner(target).index]
+            if owner.node_id != node_id and self._finger_entry_allowed(
+                node_id, owner.node_id
+            ):
+                fingers[k] = owner
+        return fingers
+
+    def _finger_entry_allowed(self, node_id: int, owner_id: int) -> bool:
+        """May ``owner_id`` be stored as a finger of ``node_id``?
+        (Verme refuses containment-violating entries.)"""
+        return True
+
+    def replica_group(self, key: int, count: int) -> List[NodeInfo]:
+        """The nodes a DHT should place ``count`` replicas of ``key`` on."""
+        start = self.owner(key).index
+        n = len(self.infos)
+        count = min(count, n)
+        return [self.infos[(start + j) % n] for j in range(count)]
+
+    def routing_entries(
+        self, index: int, num_successors: int, num_predecessors: int
+    ) -> List[NodeInfo]:
+        """Everything in this node's routing state (for worm knowledge)."""
+        seen: dict[int, NodeInfo] = {}
+        for info in self.successor_list(index, num_successors):
+            seen[info.node_id] = info
+        for info in self.predecessor_list(index, num_predecessors):
+            seen[info.node_id] = info
+        for info in self.finger_table(index).values():
+            seen[info.node_id] = info
+        return list(seen.values())
+
+
+class VermeStaticOverlay(StaticOverlay):
+    """Verme's ownership (section-bounded with the predecessor corner
+    rule, §4.4/§5.2) and opposite-type finger placement."""
+
+    def __init__(
+        self, layout: VermeIdLayout, infos: Sequence[NodeInfo]
+    ) -> None:
+        super().__init__(layout.space, infos)
+        self.layout = layout
+
+    def owner(self, key: int) -> OwnerDecision:
+        """The key's successor if it lies in the key's section, else the
+        key's predecessor (the corner case of §4.4)."""
+        succ_i = self.successor_index(key)
+        if self.layout.same_section(self.ids[succ_i], key):
+            return OwnerDecision(succ_i, False)
+        return OwnerDecision(self.predecessor_index(key), True)
+
+    def finger_target(self, node_id: int, k: int) -> int:
+        return verme_finger_target(self.layout, node_id, k)
+
+    def _finger_entry_allowed(self, node_id: int, owner_id: int) -> bool:
+        """In degenerate (sparsely populated) rings the owner of a
+        displaced target can be a same-type node from a foreign section;
+        storing it would break containment, so it is dropped (routing
+        falls back to the successor list)."""
+        return self.layout.same_section(owner_id, node_id) or not self.layout.same_type(
+            owner_id, node_id
+        )
+
+    def section_members(self, section_index: int) -> List[NodeInfo]:
+        """All nodes whose ids fall in the given section."""
+        start, end = self.layout.section_bounds(section_index)
+        lo = bisect_left(self.ids, start)
+        hi = bisect_right(self.ids, end)
+        return self.infos[lo:hi]
+
+    def replica_group(self, key: int, count: int) -> List[NodeInfo]:
+        """Up to ``count`` nodes of the key's section nearest the key.
+
+        Starts at the owner and extends clockwise while staying in the
+        key's section, then counter-clockwise (the paper's "replicate
+        toward the predecessors" corner rule); never leaves the section.
+        """
+        decision = self.owner(key)
+        owner = self.infos[decision.index]
+        section = self.layout.section_index(key)
+        if self.layout.section_index(owner.node_id) != section:
+            # Degenerate: the key's section is empty; only the ring
+            # predecessor can own it.
+            return [owner]
+        n = len(self.infos)
+        group = [owner]
+        j = decision.index
+        while len(group) < count:
+            j = (j + 1) % n
+            info = self.infos[j]
+            if info is owner or self.layout.section_index(info.node_id) != section:
+                break
+            group.append(info)
+        j = decision.index
+        while len(group) < count:
+            j = (j - 1) % n
+            info = self.infos[j]
+            if info in group or self.layout.section_index(info.node_id) != section:
+                break
+            group.append(info)
+        return group
+
+    def cross_type_replica_groups(
+        self, key: int, per_group: int
+    ) -> tuple[List[NodeInfo], List[NodeInfo]]:
+        """VerDi's two replica groups (§5.2): ``per_group`` nodes at the
+        key's position and the same position one section later."""
+        return (
+            self.replica_group(key, per_group),
+            self.replica_group(self.layout.opposite_type_position(key), per_group),
+        )
+
+
+class NaiveFingerVermeOverlay(VermeStaticOverlay):
+    """Ablation: Verme's sectioned ids and ownership, but *plain Chord*
+    finger targets and no containment filtering.
+
+    This isolates the contribution of §4.4's finger displacement: with
+    naive fingers a node's table contains same-type nodes from distant
+    sections, handing a worm exactly the cross-island links Verme
+    exists to remove.  Used by the ablation benchmarks.
+    """
+
+    def finger_target(self, node_id: int, k: int) -> int:
+        return self.space.power_of_two_target(node_id, k)
+
+    def _finger_entry_allowed(self, node_id: int, owner_id: int) -> bool:
+        return True

@@ -1,0 +1,14 @@
+"""Discrete-event simulation kernel (the p2psim substitute)."""
+
+from .engine import EventHandle, SimulationError, Simulator
+from .rng import RngRegistry, derive_seed
+from .timers import PeriodicTimer
+
+__all__ = [
+    "EventHandle",
+    "PeriodicTimer",
+    "RngRegistry",
+    "SimulationError",
+    "Simulator",
+    "derive_seed",
+]

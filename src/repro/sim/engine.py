@@ -1,0 +1,179 @@
+"""Discrete-event simulation kernel.
+
+This is the substrate everything else in the reproduction runs on: a
+virtual clock plus a binary-heap event queue with cancellable handles.
+It plays the role p2psim's event loop played for the original paper.
+
+Times are floats in *seconds* of simulated time.  Determinism is a hard
+requirement for reproducible experiments, so ties in the event queue are
+broken by insertion order and all randomness must come from
+:mod:`repro.sim.rng` streams seeded from the experiment seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation kernel."""
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    seq: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """A scheduled callback that can be cancelled before it fires.
+
+    Handles are returned by :meth:`Simulator.schedule`.  Cancelling an
+    already-fired or already-cancelled handle is a no-op, which makes
+    timeout bookkeeping in protocol code straightforward.
+    """
+
+    __slots__ = ("callback", "args", "time", "_cancelled", "_fired")
+
+    def __init__(self, time: float, callback: Callable[..., None], args: tuple):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running; safe to call repeatedly."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        return not (self._cancelled or self._fired)
+
+
+class Simulator:
+    """Virtual-time event scheduler.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(2.0, fired.append, "b")
+    >>> _ = sim.schedule(1.0, fired.append, "a")
+    >>> sim.run()
+    >>> fired
+    ['a', 'b']
+    >>> sim.now
+    2.0
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far (for progress/profiling)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of entries still in the queue (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Run ``callback(*args)`` after ``delay`` seconds of virtual time.
+
+        ``delay`` must be non-negative; a zero delay runs the callback at the
+        current time but strictly after all callbacks already scheduled for
+        the current time (FIFO among ties).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Run ``callback(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        handle = EventHandle(time, callback, args)
+        heapq.heappush(self._queue, _QueueEntry(time, next(self._seq), handle))
+        return handle
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Process events in time order.
+
+        Stops when the queue is exhausted, when the next event is past
+        ``until`` (the clock is then advanced to ``until``), or after
+        ``max_events`` callbacks (a safety valve for runaway protocols).
+        Re-entrant calls are rejected.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not re-entrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                entry = self._queue[0]
+                if until is not None and entry.time > until:
+                    break
+                heapq.heappop(self._queue)
+                handle = entry.handle
+                if handle.cancelled:
+                    continue
+                self._now = entry.time
+                handle._fired = True
+                handle.callback(*handle.args)
+                self._events_processed += 1
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    return
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Process exactly one (non-cancelled) event.
+
+        Returns ``True`` if an event ran, ``False`` if the queue was empty.
+        """
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            handle = entry.handle
+            if handle.cancelled:
+                continue
+            self._now = entry.time
+            handle._fired = True
+            handle.callback(*handle.args)
+            self._events_processed += 1
+            return True
+        return False
+
+    def clear(self) -> None:
+        """Drop all pending events (the clock is left where it is)."""
+        self._queue.clear()

@@ -1,0 +1,78 @@
+"""Periodic timers on top of the event kernel.
+
+Protocol nodes run several maintenance loops (successor stabilization
+every 30 s, finger stabilization every 60 s, workload generators with
+exponential inter-arrival times).  ``PeriodicTimer`` encapsulates the
+reschedule-after-fire pattern, including optional start jitter so that a
+thousand nodes booted at t=0 do not all stabilize in the same instant —
+the same desynchronisation p2psim applies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from .engine import EventHandle, Simulator
+
+
+class PeriodicTimer:
+    """Calls ``callback()`` every ``period`` seconds until stopped.
+
+    If ``jitter_rng`` is given, the first firing is delayed by a uniform
+    random fraction of the period.  If ``interval_fn`` is given it is
+    called before each (re)scheduling and must return the next delay —
+    used for exponential workload inter-arrivals.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[[], None],
+        jitter_rng: Optional[random.Random] = None,
+        interval_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if period <= 0 and interval_fn is None:
+            raise ValueError("period must be positive")
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._interval_fn = interval_fn
+        self._handle: Optional[EventHandle] = None
+        self._stopped = True
+        self._jitter_rng = jitter_rng
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def start(self) -> None:
+        """Arm the timer; the first firing happens after one interval."""
+        if not self._stopped:
+            return
+        self._stopped = False
+        delay = self._next_interval()
+        if self._jitter_rng is not None:
+            delay *= self._jitter_rng.random()
+        self._handle = self._sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        """Disarm the timer; the pending firing (if any) is cancelled."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _next_interval(self) -> float:
+        if self._interval_fn is not None:
+            return max(0.0, self._interval_fn())
+        return self._period
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        if self._stopped:  # the callback may have stopped us
+            return
+        self._handle = self._sim.schedule(self._next_interval(), self._fire)

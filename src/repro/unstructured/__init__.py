@@ -1,0 +1,14 @@
+"""Unstructured (tracker-based) overlays with worm containment (§6.2)."""
+
+from .swarm import Swarm, SwarmWormResult, build_swarm, run_swarm_worm
+from .tracker import PeerRecord, Tracker, TrackerConfig
+
+__all__ = [
+    "PeerRecord",
+    "Swarm",
+    "SwarmWormResult",
+    "Tracker",
+    "TrackerConfig",
+    "build_swarm",
+    "run_swarm_worm",
+]

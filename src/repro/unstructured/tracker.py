@@ -1,0 +1,156 @@
+"""Containment-aware tracker for unstructured overlays (paper §6.2).
+
+The paper's design principles are not Chord-specific: for the original
+tracker-based BitTorrent design, "assuming the tracker is not
+vulnerable to worm infection ... it will be able to assign neighbors in
+a way that forms an overlay graph with the generic structure of
+Figure 1".  This module implements exactly that tracker:
+
+* peers present a type-binding certificate when announcing;
+* the tracker partitions each type's peers into bounded *islands*;
+* a peer's neighbour set mixes same-island peers (allowed same-type
+  knowledge) with peers of *other* types — never same-type peers from a
+  different island.
+
+A ``naive`` policy (plain random neighbour assignment, as real trackers
+do) is provided as the baseline the worm experiments compare against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..crypto.certificates import CertificateAuthority, NodeCertificate
+from ..ids.assignment import NodeType
+from ..net.addressing import NodeAddress
+
+
+@dataclass(frozen=True)
+class PeerRecord:
+    """One announced peer as the tracker sees it."""
+
+    peer_id: int
+    address: NodeAddress
+    claimed_type: NodeType
+    island: int  # -1 under the naive policy
+
+
+@dataclass
+class TrackerConfig:
+    """Island sizing and neighbour-mix parameters."""
+
+    island_size: int = 24
+    same_island_neighbors: int = 6
+    cross_type_neighbors: int = 6
+
+    def __post_init__(self) -> None:
+        if self.island_size < 2:
+            raise ValueError("islands need at least two peers")
+        if self.same_island_neighbors < 0 or self.cross_type_neighbors < 0:
+            raise ValueError("neighbour counts must be non-negative")
+
+
+class Tracker:
+    """A centralised, worm-immune neighbour-assignment service."""
+
+    def __init__(
+        self,
+        config: TrackerConfig,
+        ca: CertificateAuthority,
+        rng: random.Random,
+        containment: bool = True,
+    ) -> None:
+        self.config = config
+        self.ca = ca
+        self.rng = rng
+        self.containment = containment
+        self._peers: Dict[int, PeerRecord] = {}
+        # islands[type] is a list of islands, each a list of peer ids.
+        self._islands: Dict[NodeType, List[List[int]]] = {
+            NodeType.A: [],
+            NodeType.B: [],
+        }
+        self.rejected_announces = 0
+
+    # -- announces -------------------------------------------------------------
+
+    def announce(
+        self, peer_id: int, address: NodeAddress, cert: NodeCertificate
+    ) -> Optional[PeerRecord]:
+        """Register a peer; returns its record or None if refused."""
+        if not self.ca.verify(cert) or cert.node_id != peer_id:
+            self.rejected_announces += 1
+            return None
+        if peer_id in self._peers:
+            return self._peers[peer_id]
+        island = -1
+        if self.containment:
+            island = self._place_in_island(peer_id, cert.claimed_type)
+        record = PeerRecord(peer_id, address, cert.claimed_type, island)
+        self._peers[peer_id] = record
+        return record
+
+    def _place_in_island(self, peer_id: int, node_type: NodeType) -> int:
+        islands = self._islands[node_type]
+        for idx, members in enumerate(islands):
+            if len(members) < self.config.island_size:
+                members.append(peer_id)
+                return idx
+        islands.append([peer_id])
+        return len(islands) - 1
+
+    # -- neighbour assignment -----------------------------------------------------
+
+    def neighbors_for(self, peer_id: int) -> List[PeerRecord]:
+        """The neighbour set the tracker hands this peer."""
+        record = self._peers.get(peer_id)
+        if record is None:
+            raise KeyError(f"peer {peer_id} never announced")
+        if not self.containment:
+            return self._naive_neighbors(record)
+        same = self._sample_island(record)
+        cross = self._sample_cross_type(record)
+        return same + cross
+
+    def _naive_neighbors(self, record: PeerRecord) -> List[PeerRecord]:
+        count = self.config.same_island_neighbors + self.config.cross_type_neighbors
+        others = [p for pid, p in self._peers.items() if pid != record.peer_id]
+        if len(others) <= count:
+            return others
+        return self.rng.sample(others, count)
+
+    def _sample_island(self, record: PeerRecord) -> List[PeerRecord]:
+        members = self._islands[record.claimed_type][record.island]
+        candidates = [m for m in members if m != record.peer_id]
+        take = min(self.config.same_island_neighbors, len(candidates))
+        return [self._peers[m] for m in self.rng.sample(candidates, take)]
+
+    def _sample_cross_type(self, record: PeerRecord) -> List[PeerRecord]:
+        opposite = record.claimed_type.opposite
+        candidates = [
+            p for p in self._peers.values() if p.claimed_type is opposite
+        ]
+        take = min(self.config.cross_type_neighbors, len(candidates))
+        return self.rng.sample(candidates, take)
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def peers(self) -> List[PeerRecord]:
+        return list(self._peers.values())
+
+    def islands_of(self, node_type: NodeType) -> List[List[int]]:
+        return [list(members) for members in self._islands[node_type]]
+
+    def audit_assignment(self, neighbor_sets: Dict[int, Sequence[PeerRecord]]) -> int:
+        """Count containment violations in assigned neighbour sets
+        (same type, different island)."""
+        violations = 0
+        for peer_id, neighbors in neighbor_sets.items():
+            me = self._peers[peer_id]
+            for n in neighbors:
+                if n.claimed_type is me.claimed_type and n.island != me.island:
+                    violations += 1
+        return violations

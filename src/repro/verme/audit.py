@@ -1,0 +1,104 @@
+"""Containment auditing: does the live overlay leak same-type links?
+
+Verme's guarantee is conditional (paper §4.3): successor lists must not
+span more than two sections, which holds "with high probability" when
+sections are sized against the successor-list length.  This module
+makes the condition checkable: given live nodes or a static snapshot it
+reports every routing entry that would let a worm jump between
+same-type islands, and provides the sizing rule an operator should
+apply when picking the number of sections.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from ..ids.sections import VermeIdLayout
+
+
+@dataclass(frozen=True)
+class ContainmentViolation:
+    """One same-type routing entry that crosses a section boundary."""
+
+    node_id: int
+    entry_id: int
+    table: str  # "successors" | "predecessors" | "fingers"
+
+    def __str__(self) -> str:
+        return (
+            f"{self.node_id:#x} -> {self.entry_id:#x} "
+            f"(same type, different section, via {self.table})"
+        )
+
+
+def audit_node_state(
+    layout: VermeIdLayout,
+    node_id: int,
+    successors: Iterable[int],
+    predecessors: Iterable[int],
+    fingers: Iterable[int],
+) -> List[ContainmentViolation]:
+    """Violations in one node's routing state (ids only)."""
+    out: List[ContainmentViolation] = []
+    for table, ids in (
+        ("successors", successors),
+        ("predecessors", predecessors),
+        ("fingers", fingers),
+    ):
+        for entry in ids:
+            if entry == node_id:
+                continue
+            if layout.same_type(entry, node_id) and not layout.same_section(
+                entry, node_id
+            ):
+                out.append(ContainmentViolation(node_id, entry, table))
+    return out
+
+
+def audit_overlay(nodes: Sequence) -> List[ContainmentViolation]:
+    """Violations across a population of live :class:`VermeNode`s."""
+    violations: List[ContainmentViolation] = []
+    for node in nodes:
+        violations.extend(
+            audit_node_state(
+                node.layout,
+                node.node_id,
+                (e.node_id for e in node.successors),
+                (e.node_id for e in node.predecessors),
+                (e.node_id for e in node.fingers.entries()),
+            )
+        )
+    return violations
+
+
+def max_safe_neighbor_list(
+    expected_nodes: int, num_sections: int, slack: float = 0.5
+) -> int:
+    """The longest successor/predecessor list that keeps lists within
+    two sections for a *typical* section.
+
+    A section holds ``expected_nodes / num_sections`` nodes on average;
+    a list of length L starting anywhere inside a section stays within
+    that section plus the next as long as L is comfortably below the
+    per-section population.  ``slack`` is the safety factor (0.5 means
+    "half the average section").
+    """
+    if num_sections <= 0 or expected_nodes <= 0:
+        raise ValueError("population and section count must be positive")
+    per_section = expected_nodes / num_sections
+    return max(1, math.floor(per_section * slack))
+
+
+def min_safe_sections(
+    expected_nodes: int, neighbor_list_length: int, slack: float = 0.5
+) -> int:
+    """Largest power-of-two section count that keeps a neighbour list of
+    the given length safe under the same sizing rule."""
+    if neighbor_list_length <= 0:
+        raise ValueError("list length must be positive")
+    per_section_needed = neighbor_list_length / slack
+    raw = max(1, int(expected_nodes / per_section_needed))
+    # Round down to a power of two (section counts are powers of two).
+    return 1 << (raw.bit_length() - 1)

@@ -1,0 +1,203 @@
+"""The Verme protocol node (paper §4).
+
+``VermeNode`` is a :class:`~repro.chord.node.ChordNode` with exactly the
+paper's deltas:
+
+* **id structure** — the node's id encodes its (claimed) type in the
+  middle bits, so the ring partitions into type-alternating sections;
+* **key ownership** — a key is owned by its successor only if that
+  successor lies in the key's section; otherwise by the key's
+  predecessor (the §4.4 corner rule);
+* **fingers** — targets are displaced so every finger points at a node
+  of the opposite type (:mod:`repro.verme.fingers`);
+* **predecessor list** — maintained like the successor list (needed by
+  VerDi's predecessor-side replication, §5.2);
+* **lookups** — recursive only, carry the initiator's certificate, are
+  verified for legitimacy by the responsible node, and the reply is
+  sealed with the initiator's public key so intermediate hops never see
+  the returned addresses (§4.5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set
+
+from ..chord.config import OverlayConfig
+from ..chord.lookup import LookupPurpose, LookupStyle
+from ..chord.node import ChordNode, _RouteDecision
+from ..chord.state import NodeInfo
+from ..crypto.certificates import CertificateAuthority, KeyPair, NodeCertificate
+from ..crypto.sealed import SealError, seal
+from ..ids.assignment import NodeType
+from ..ids.sections import VermeIdLayout
+from ..net.addressing import NodeAddress
+from ..net.message import CERT_BYTES, SEALED_OVERHEAD_BYTES
+from ..net.network import Network
+from ..sim import Simulator
+from .fingers import is_verme_finger_target, verme_finger_target
+
+# A VerDi variant installs this to vet DHT lookups at the responsible
+# node: (initiator certificate, key, request params) -> error or None.
+DhtLookupVerifier = Callable[[NodeCertificate, int, dict], Optional[str]]
+
+
+class VermeNode(ChordNode):
+    """One Verme overlay node."""
+
+    maintenance_style = LookupStyle.RECURSIVE
+    allowed_styles = frozenset({LookupStyle.RECURSIVE})
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        config: OverlayConfig,
+        layout: VermeIdLayout,
+        cert: NodeCertificate,
+        keys: KeyPair,
+        ca: CertificateAuthority,
+        address: NodeAddress,
+        jitter_rng=None,
+    ) -> None:
+        if layout.space is not config.space and layout.space != config.space:
+            raise ValueError("layout and config use different id spaces")
+        if NodeType(layout.type_of(cert.node_id)) is not cert.claimed_type:
+            raise ValueError(
+                "certificate id does not encode the claimed type "
+                f"(id type {layout.type_of(cert.node_id)}, "
+                f"claimed {cert.claimed_type})"
+            )
+        self.layout = layout
+        self.cert = cert
+        self.keys = keys
+        self.ca = ca
+        self.verify_dht_lookup: Optional[DhtLookupVerifier] = None
+        super().__init__(sim, network, config, cert.node_id, address, jitter_rng)
+
+    # -- identity -------------------------------------------------------------
+
+    @property
+    def node_type(self) -> NodeType:
+        """The type this node *claims* (an impersonator's true platform
+        differs; see :attr:`cert`)."""
+        return self.cert.claimed_type
+
+    @property
+    def section(self) -> int:
+        return self.layout.section_index(self.node_id)
+
+    def _predecessor_limit(self) -> int:
+        return self.config.num_predecessors
+
+    # -- fingers ----------------------------------------------------------------
+
+    def finger_target(self, k: int) -> int:
+        return verme_finger_target(self.layout, self.node_id, k)
+
+    def _finger_fixed(self, k: int, result) -> None:
+        """Refuse containment-violating entries: in degenerate rings a
+        displaced target can resolve to a same-type node of a foreign
+        section, and storing it would hand a worm a cross-island link.
+        The type check is free — it reads the entry's id bits."""
+        if result.success and result.entries:
+            entry = result.entries[0]
+            if not self.layout.same_section(
+                entry.node_id, self.node_id
+            ) and self.layout.same_type(entry.node_id, self.node_id):
+                return
+        super()._finger_fixed(k, result)
+
+    # -- ownership ----------------------------------------------------------------
+
+    def _terminal_decision(self, key: int, succ: NodeInfo) -> _RouteDecision:
+        if self.layout.same_section(succ.node_id, key):
+            return _RouteDecision(done=True, owner_is_self=False)
+        # Tail gap (or empty section): the key's predecessor — this node
+        # — is responsible (§4.4 corner rule).
+        return _RouteDecision(done=True, owner_is_self=True)
+
+    def _local_decision(
+        self, key: int, exclude: Set[NodeAddress]
+    ) -> Optional[_RouteDecision]:
+        pred = self.predecessor
+        if pred is None:
+            return None
+        if not self.space.in_half_open(key, pred.node_id, self.node_id):
+            return None
+        if self.layout.same_section(self.node_id, key):
+            return _RouteDecision(done=True, owner_is_self=True)
+        # The key lies in the gap before this node's section, so its
+        # *predecessor* owns it; hand the request back one step.
+        if pred.address not in exclude:
+            return _RouteDecision(done=False, next_hop=pred)
+        return None
+
+    def _entries_for_key(
+        self, key: int, purpose: LookupPurpose, owner_is_self: bool
+    ) -> List[NodeInfo]:
+        if purpose is not LookupPurpose.DHT:
+            return super()._entries_for_key(key, purpose, owner_is_self)
+        # DHT lookups return the in-section replica group (§5.2).
+        section = self.layout.section_index(key)
+        if owner_is_self:
+            if self.layout.section_index(self.node_id) != section:
+                return [self.info]  # degenerate: the key's section is empty
+            group = [self.info] + [
+                p
+                for p in self.predecessors.entries
+                if self.layout.section_index(p.node_id) == section
+            ]
+        else:
+            group = [
+                s
+                for s in self.successors.entries
+                if self.layout.section_index(s.node_id) == section
+            ]
+            if not group:
+                group = self.successors.entries[:1]
+        return group[: self.config.num_successors]
+
+    # -- lookup security (§4.5) -----------------------------------------------------
+
+    def _h_route_step(self, params: dict, ctx) -> None:
+        """Refuse to serve iterative steps: each one would hand the
+        requester a routing-table address, which is exactly the
+        crawling primitive §4.5 removes."""
+        ctx.fail("iterative lookups are disabled in verme")
+
+    def _attach_credentials(self, params: dict) -> None:
+        params["cert"] = self.cert
+
+    def _lookup_request_extra_bytes(self) -> int:
+        return CERT_BYTES
+
+    def _result_extra_bytes(self) -> int:
+        return SEALED_OVERHEAD_BYTES
+
+    def _verify_lookup(self, key: int, params: dict) -> Optional[str]:
+        cert = params.get("cert")
+        if cert is None:
+            return "missing certificate"
+        if not self.ca.verify(cert):
+            return "invalid certificate"
+        purpose: LookupPurpose = params["purpose"]
+        if purpose is LookupPurpose.JOIN:
+            if cert.node_id != key:
+                return "join lookup for a foreign id"
+            return None
+        if purpose is LookupPurpose.FINGER:
+            if not is_verme_finger_target(self.layout, cert.node_id, key):
+                return "key is not a finger target of the certified id"
+            return None
+        if self.verify_dht_lookup is not None:
+            return self.verify_dht_lookup(cert, key, params)
+        return None
+
+    def _package_result(self, entries: List[NodeInfo], params: dict) -> object:
+        cert: NodeCertificate = params["cert"]
+        return seal(cert.public_key, list(entries))
+
+    def _unpackage_result(self, payload: object) -> List[NodeInfo]:
+        if not hasattr(payload, "open"):
+            raise SealError("expected a sealed lookup result")
+        return list(payload.open(self.keys))

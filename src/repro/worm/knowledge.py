@@ -1,0 +1,93 @@
+"""What a topological worm knows: routing-state knowledge extraction.
+
+A worm on an infected node harvests the overlay routing state —
+successor list, predecessor list, finger table — to choose its next
+targets (paper §3: "use the routing state maintained by the application
+to choose the next target to infect").
+
+Target filtering: Verme ids *encode* the platform type in their middle
+bits, so a worm on a Verme overlay skips opposite-type entries for free
+(they cannot be vulnerable to it).  Chord ids carry no type
+information, so a Chord worm must spend scan slots probing targets that
+turn out to be invulnerable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, Sequence
+
+from ..ids.sections import VermeIdLayout
+from ..overlay.snapshot import StaticOverlay, VermeStaticOverlay
+
+
+class KnowledgeModel(Protocol):
+    """Maps a node index to the indices its worm instance can target."""
+
+    def targets_of(self, index: int) -> List[int]: ...
+
+
+class RoutingKnowledge:
+    """Knowledge = the node's full routing state on a static overlay."""
+
+    def __init__(
+        self,
+        overlay: StaticOverlay,
+        num_successors: int = 10,
+        num_predecessors: int = 0,
+        same_type_only: bool = False,
+        layout: Optional[VermeIdLayout] = None,
+        node_types: Optional[Sequence[int]] = None,
+    ) -> None:
+        """``same_type_only`` models the worm reading types from ids
+        (requires ``layout``); ``node_types`` supplies per-index types
+        for overlays whose ids do not encode them (Chord)."""
+        if same_type_only and layout is None:
+            raise ValueError("same_type_only filtering needs a VermeIdLayout")
+        self.overlay = overlay
+        self.num_successors = num_successors
+        self.num_predecessors = num_predecessors
+        self.same_type_only = same_type_only
+        self.layout = layout
+        self.node_types = node_types
+
+    def _type_of_index(self, index: int) -> Optional[int]:
+        if self.layout is not None:
+            return self.layout.type_of(self.overlay.ids[index])
+        if self.node_types is not None:
+            return self.node_types[index]
+        return None
+
+    def targets_of(self, index: int) -> List[int]:
+        entries = self.overlay.routing_entries(
+            index, self.num_successors, self.num_predecessors
+        )
+        indices = [self.overlay.index_of(e.node_id) for e in entries]
+        if not self.same_type_only:
+            return indices
+        own_type = self._type_of_index(index)
+        return [i for i in indices if self._type_of_index(i) == own_type]
+
+
+def verme_knowledge(
+    overlay: VermeStaticOverlay,
+    num_successors: int = 10,
+    num_predecessors: int = 10,
+) -> RoutingKnowledge:
+    """Standard knowledge model for a worm on Verme: routing state with
+    type-filtering (the worm reads types straight from the ids)."""
+    return RoutingKnowledge(
+        overlay,
+        num_successors=num_successors,
+        num_predecessors=num_predecessors,
+        same_type_only=True,
+        layout=overlay.layout,
+    )
+
+
+def chord_knowledge(
+    overlay: StaticOverlay,
+    num_successors: int = 10,
+) -> RoutingKnowledge:
+    """Standard knowledge model for a worm on Chord: routing state,
+    unfiltered (Chord ids reveal nothing about platform types)."""
+    return RoutingKnowledge(overlay, num_successors=num_successors)

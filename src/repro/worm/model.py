@@ -1,0 +1,86 @@
+"""The worm propagation model (paper §7.3).
+
+Nodes are in one of four states — *not infected*, *scanning*,
+*infecting*, *inactive* — with the transitions the paper takes from
+Staniford et al.'s Code-Red-derived model:
+
+* a **scanning** machine probes known addresses at ``scan_rate``;
+* hitting a vulnerable, not-yet-infected target moves the attacker to
+  **infecting** for ``infect_time_s``;
+* when the infection completes, the target becomes **inactive** (the
+  worm is implanted but dormant), the attacker returns to scanning, and
+  after ``activation_delay_s`` the worm activates on the target, which
+  starts scanning in turn.
+
+The default parameter values are the paper's: 100 scans/machine/second,
+100 ms to infect, 1 s between implantation and activation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+class WormState(enum.Enum):
+    NOT_INFECTED = "not_infected"
+    SCANNING = "scanning"
+    INFECTING = "infecting"
+    INACTIVE = "inactive"
+
+
+@dataclass(frozen=True)
+class WormParams:
+    """Propagation parameters (defaults from §7.3)."""
+
+    scan_rate_per_s: float = 100.0
+    infect_time_s: float = 0.1
+    activation_delay_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.scan_rate_per_s <= 0:
+            raise ValueError("scan rate must be positive")
+        if self.infect_time_s < 0 or self.activation_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+
+    @property
+    def scan_interval_s(self) -> float:
+        return 1.0 / self.scan_rate_per_s
+
+
+@dataclass
+class InfectionCurve:
+    """Cumulative infections over time: the Fig. 8 y-axis."""
+
+    points: List[Tuple[float, int]] = field(default_factory=list)
+
+    def record(self, time_s: float, count: int) -> None:
+        self.points.append((time_s, count))
+
+    @property
+    def final_count(self) -> int:
+        return self.points[-1][1] if self.points else 0
+
+    @property
+    def final_time(self) -> float:
+        return self.points[-1][0] if self.points else 0.0
+
+    def count_at(self, time_s: float) -> int:
+        """Infections completed at or before ``time_s``."""
+        count = 0
+        for t, c in self.points:
+            if t > time_s:
+                break
+            count = c
+        return count
+
+    def time_to_count(self, target: int) -> float | None:
+        """When the ``target``-th infection happened (None if never)."""
+        for t, c in self.points:
+            if c >= target:
+                return t
+        return None
+
+    def time_to_fraction(self, population: int, fraction: float) -> float | None:
+        return self.time_to_count(max(1, int(population * fraction)))

@@ -1,0 +1,127 @@
+"""The worm propagation engine.
+
+Runs the four-state model of :mod:`repro.worm.model` as discrete events
+over a static overlay population.  Each infected node maintains a queue
+of known-but-unscanned targets (deduplicated); harvesters
+(:mod:`repro.worm.harvest`) may inject fresh targets at any time, which
+wakes idle scanners — this is how the impersonation attacks feed the
+worm in the Fast-/Compromise-VerDi scenarios.
+
+The engine deliberately scans each known address at most once per node:
+on a static overlay rescanning gains nothing, and this keeps the
+100,000-node runs tractable (the event count is bounded by the total
+knowledge volume, not by simulated time).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Set
+
+from ..sim import Simulator
+from .knowledge import KnowledgeModel
+from .model import InfectionCurve, WormParams, WormState
+
+
+class WormSimulation:
+    """One propagation run over a fixed population."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        num_nodes: int,
+        vulnerable: Sequence[bool],
+        knowledge: KnowledgeModel,
+        params: WormParams = WormParams(),
+    ) -> None:
+        if len(vulnerable) != num_nodes:
+            raise ValueError("vulnerable mask must cover the population")
+        self.sim = sim
+        self.num_nodes = num_nodes
+        self.vulnerable = list(vulnerable)
+        self.knowledge = knowledge
+        self.params = params
+        self.state: List[WormState] = [WormState.NOT_INFECTED] * num_nodes
+        self.infected_count = 0
+        self.curve = InfectionCurve()
+        self._queues: Dict[int, Deque[int]] = {}
+        self._known: Dict[int, Set[int]] = {}
+        self._idle: Set[int] = set()
+        self.scans_performed = 0
+        self.infections_completed = 0
+
+    # -- seeding and harvest injection ------------------------------------------
+
+    def seed(self, index: int, delay_s: float = 0.0) -> None:
+        """Implant the worm on ``index`` at the start of the run."""
+        if self.state[index] is not WormState.NOT_INFECTED:
+            return
+        self._mark_infected(index)
+        self.sim.schedule(delay_s, self._activate, index)
+
+    def add_targets(self, index: int, targets: Sequence[int]) -> None:
+        """Inject harvested addresses into ``index``'s worm instance."""
+        if self.state[index] is WormState.NOT_INFECTED:
+            return
+        queue = self._queues.setdefault(index, deque())
+        known = self._known.setdefault(index, set())
+        added = False
+        for t in targets:
+            if t == index or t in known:
+                continue
+            known.add(t)
+            queue.append(t)
+            added = True
+        if added and index in self._idle:
+            self._idle.discard(index)
+            self.sim.schedule(self.params.scan_interval_s, self._scan, index)
+
+    def is_infected(self, index: int) -> bool:
+        return self.state[index] is not WormState.NOT_INFECTED
+
+    # -- state machine ----------------------------------------------------------
+
+    def _mark_infected(self, index: int) -> None:
+        self.state[index] = WormState.INACTIVE
+        self.infected_count += 1
+        self.curve.record(self.sim.now, self.infected_count)
+
+    def _activate(self, index: int) -> None:
+        self.state[index] = WormState.SCANNING
+        self.add_targets(index, self.knowledge.targets_of(index))
+        queue = self._queues.get(index)
+        if not queue:
+            self._idle.add(index)
+            return
+        self._idle.discard(index)
+        self.sim.schedule(self.params.scan_interval_s, self._scan, index)
+
+    def _scan(self, index: int) -> None:
+        queue = self._queues.get(index)
+        if not queue:
+            self._idle.add(index)
+            return
+        target = queue.popleft()
+        self.scans_performed += 1
+        if self.vulnerable[target] and self.state[target] is WormState.NOT_INFECTED:
+            self.state[index] = WormState.INFECTING
+            self.sim.schedule(
+                self.params.infect_time_s, self._infection_done, index, target
+            )
+            return
+        self.sim.schedule(self.params.scan_interval_s, self._scan, index)
+
+    def _infection_done(self, attacker: int, target: int) -> None:
+        if self.state[target] is WormState.NOT_INFECTED:
+            self._mark_infected(target)
+            self.infections_completed += 1
+            self.sim.schedule(self.params.activation_delay_s, self._activate, target)
+        self.state[attacker] = WormState.SCANNING
+        self.sim.schedule(self.params.scan_interval_s, self._scan, attacker)
+
+    # -- running -------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> InfectionCurve:
+        """Drive the simulation and return the infection curve."""
+        self.sim.run(until=until, max_events=max_events)
+        return self.curve

@@ -1,0 +1,110 @@
+"""Tests for Sybil-limiting certificate admission (§6.1)."""
+
+import pytest
+
+from repro.crypto import CertificateAuthority
+from repro.crypto.admission import AdmissionController, AdmissionPolicy
+from repro.ids import NodeType
+from repro.sim import Simulator
+
+
+def make(policy=None):
+    sim = Simulator()
+    ca = CertificateAuthority()
+    ctrl = AdmissionController(sim, ca, policy or AdmissionPolicy())
+    return sim, ca, ctrl
+
+
+def test_certificate_issued_after_puzzle_delay():
+    sim, ca, ctrl = make(AdmissionPolicy(puzzle_cost_s=120.0))
+    results = []
+    ok = ctrl.request_certificate(
+        "alice", 0x1, NodeType.A, lambda c, k: results.append((sim.now, c, k))
+    )
+    assert ok
+    sim.run(until=60.0)
+    assert results == []  # still solving the puzzle
+    sim.run(until=200.0)
+    assert len(results) == 1
+    t, cert, keys = results[0]
+    assert t == pytest.approx(120.0)
+    assert ca.verify(cert)
+    assert keys.matches(cert.public_key)
+
+
+def test_quota_enforced():
+    sim, _ca, ctrl = make(AdmissionPolicy(puzzle_cost_s=10.0, max_certificates_per_principal=2))
+    results = []
+    for i in range(4):
+        ctrl.request_certificate(
+            "mallory", i + 1, NodeType.B, lambda c, k: results.append(c)
+        )
+    sim.run()
+    granted = [c for c in results if c is not None]
+    denied = [c for c in results if c is None]
+    assert len(granted) == 2
+    assert len(denied) == 2
+    assert ctrl.denied_quota == 2
+    assert ctrl.certificates_issued_to("mallory") == 2
+
+
+def test_quota_counts_pending_requests():
+    sim, _ca, ctrl = make(AdmissionPolicy(puzzle_cost_s=100.0, max_certificates_per_principal=1))
+    outcomes = []
+    assert ctrl.request_certificate("eve", 1, NodeType.A, lambda c, k: outcomes.append(c))
+    # A second request while the first is pending must be refused.
+    assert not ctrl.request_certificate("eve", 2, NodeType.A, lambda c, k: outcomes.append(c))
+    sim.run()
+    assert sum(1 for c in outcomes if c is not None) == 1
+
+
+def test_quotas_are_per_principal():
+    sim, _ca, ctrl = make(AdmissionPolicy(puzzle_cost_s=1.0))
+    results = []
+    ctrl.request_certificate("a", 1, NodeType.A, lambda c, k: results.append(c))
+    ctrl.request_certificate("b", 2, NodeType.A, lambda c, k: results.append(c))
+    sim.run()
+    assert all(c is not None for c in results)
+
+
+def test_attestation_blocks_impersonation():
+    sim, _ca, ctrl = make(
+        AdmissionPolicy(puzzle_cost_s=1.0, require_attestation=True)
+    )
+    results = []
+    ok = ctrl.request_certificate(
+        "attacker", 1, NodeType.B, lambda c, k: results.append(c),
+        true_type=NodeType.A,
+    )
+    assert not ok
+    assert ctrl.denied_attestation == 1
+    sim.run()
+    assert results == [None]
+
+
+def test_without_attestation_impersonation_is_flagged_not_blocked():
+    sim, ca, ctrl = make(AdmissionPolicy(puzzle_cost_s=1.0))
+    results = []
+    ctrl.request_certificate(
+        "attacker", 1, NodeType.B, lambda c, k: results.append(c),
+        true_type=NodeType.A,
+    )
+    sim.run()
+    cert = results[0]
+    assert cert is not None
+    assert ca.verify(cert)  # the CA cannot tell...
+    assert cert.is_impersonation  # ...but the experiment bookkeeping can
+
+
+def test_identity_rate_bound():
+    _sim, _ca, ctrl = make(AdmissionPolicy(puzzle_cost_s=300.0))
+    assert ctrl.max_identity_rate_per_s() == pytest.approx(1 / 300.0)
+    _sim, _ca, free = make(AdmissionPolicy(puzzle_cost_s=0.0))
+    assert free.max_identity_rate_per_s() == float("inf")
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        AdmissionPolicy(puzzle_cost_s=-1)
+    with pytest.raises(ValueError):
+        AdmissionPolicy(max_certificates_per_principal=0)

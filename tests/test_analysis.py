@@ -1,0 +1,124 @@
+"""Unit tests for statistics, curves and table rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    LookupStats,
+    OperationStats,
+    Summary,
+    mean_confidence_interval,
+    percentile,
+)
+from repro.analysis.curves import average_curves, log_time_grid, resample
+from repro.analysis.tables import format_table
+from repro.worm import InfectionCurve
+
+
+def test_summary_basic():
+    s = Summary.of([1.0, 2.0, 3.0, 4.0])
+    assert s.count == 4
+    assert s.mean == pytest.approx(2.5)
+    assert s.minimum == 1.0
+    assert s.maximum == 4.0
+    assert s.median == pytest.approx(2.5)
+
+
+def test_summary_empty_is_nan():
+    s = Summary.of([])
+    assert s.count == 0
+    assert math.isnan(s.mean)
+
+
+def test_percentile_interpolates():
+    data = [0.0, 10.0]
+    assert percentile(data, 50) == pytest.approx(5.0)
+    assert percentile(data, 0) == 0.0
+    assert percentile(data, 100) == 10.0
+
+
+def test_percentile_single_value():
+    assert percentile([7.0], 90) == 7.0
+
+
+def test_confidence_interval_shrinks_with_n():
+    _m1, h1 = mean_confidence_interval([1.0, 2.0, 3.0] * 3)
+    _m2, h2 = mean_confidence_interval([1.0, 2.0, 3.0] * 30)
+    assert h2 < h1
+
+
+def test_lookup_stats_records():
+    stats = LookupStats()
+    stats.record(True, 0.5, 3)
+    stats.record(False, 0.0, 0)
+    assert stats.total == 2
+    assert stats.failure_rate == pytest.approx(0.5)
+    assert stats.latency_summary().mean == pytest.approx(0.5)
+    assert stats.hops_summary().mean == pytest.approx(3.0)
+
+
+def test_operation_stats_records():
+    stats = OperationStats()
+    stats.record(True, 1.0, 4096)
+    stats.record(True, 3.0, 8192)
+    stats.record(False, 0.0, 0)
+    assert stats.successes == 2
+    assert stats.failures == 1
+    assert stats.latency_summary().mean == pytest.approx(2.0)
+    assert stats.bytes_summary().mean == pytest.approx(6144.0)
+
+
+def test_resample_step_interpolation():
+    c = InfectionCurve()
+    c.record(1.0, 2)
+    c.record(5.0, 9)
+    assert resample(c, [0.5, 1.0, 3.0, 5.0, 10.0]) == [0, 2, 2, 9, 9]
+
+
+def test_log_time_grid_monotone_and_bounded():
+    grid = log_time_grid(0.1, 100.0, 10)
+    assert grid[0] == pytest.approx(0.1)
+    assert grid[-1] == pytest.approx(100.0)
+    assert all(a < b for a, b in zip(grid, grid[1:]))
+
+
+def test_log_time_grid_validation():
+    with pytest.raises(ValueError):
+        log_time_grid(0.0, 10.0)
+    with pytest.raises(ValueError):
+        log_time_grid(10.0, 1.0)
+
+
+def test_average_curves():
+    a, b = InfectionCurve(), InfectionCurve()
+    a.record(1.0, 10)
+    b.record(1.0, 20)
+    series = average_curves([a, b], [0.5, 2.0])
+    assert series == [(0.5, 0.0), (2.0, 15.0)]
+
+
+def test_average_curves_empty():
+    assert average_curves([], [1.0]) == [(1.0, 0.0)]
+
+
+def test_format_table_alignment():
+    out = format_table(
+        ["system", "latency"],
+        [["chord", 0.123456], ["verme", 1234.5]],
+    )
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert "system" in lines[0]
+    assert "chord" in lines[2]
+    assert "1,234" in lines[3] or "1234" in lines[3]
+
+
+def test_format_table_none_as_dash():
+    out = format_table(["a"], [[None]])
+    assert "-" in out.splitlines()[-1]
+
+
+def test_format_table_nan_as_dash():
+    out = format_table(["a"], [[float("nan")]])
+    assert out.splitlines()[-1].strip() == "-"

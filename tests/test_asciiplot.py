@@ -1,0 +1,48 @@
+"""Tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.analysis.asciiplot import LEVELS, sparkline, strip_chart
+
+
+def test_sparkline_scales_to_peak():
+    out = sparkline([0, 5, 10], peak=10)
+    assert len(out) == 3
+    assert out[0] == LEVELS[0]
+    assert out[-1] == LEVELS[-1]
+
+
+def test_sparkline_zero_peak_all_blank():
+    assert sparkline([0, 0, 0], peak=0) == "   "
+
+
+def test_sparkline_clamps_out_of_range():
+    out = sparkline([-5, 100], peak=10)
+    assert out[0] == LEVELS[0]
+    assert out[1] == LEVELS[-1]
+
+
+def test_sparkline_negative_peak_rejected():
+    with pytest.raises(ValueError):
+        sparkline([1], peak=-1)
+
+
+def test_strip_chart_layout():
+    series = {
+        "chord": [(0.1, 0.0), (1.0, 10.0), (10.0, 100.0)],
+        "verme": [(0.1, 0.0), (1.0, 1.0), (10.0, 2.0)],
+    }
+    out = strip_chart(series, label_width=10)
+    lines = out.splitlines()
+    assert len(lines) == 3
+    assert lines[1].startswith("chord")
+    assert lines[2].startswith("verme")
+    # Shared scale: verme's tiny values stay near-blank while chord
+    # saturates.
+    assert LEVELS[-1] in lines[1]
+    assert LEVELS[-1] not in lines[2]
+
+
+def test_strip_chart_empty_rejected():
+    with pytest.raises(ValueError):
+        strip_chart({})

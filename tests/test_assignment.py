@@ -1,0 +1,61 @@
+"""Unit tests for id assignment and content hashing."""
+
+import random
+
+from repro.ids import (
+    IdSpace,
+    NodeType,
+    chord_id_for_address,
+    key_for_value,
+    random_chord_id,
+    sha1_id,
+)
+
+
+def test_node_type_opposites():
+    assert NodeType.A.opposite is NodeType.B
+    assert NodeType.B.opposite is NodeType.A
+    assert NodeType.A.opposite.opposite is NodeType.A
+
+
+def test_node_type_integer_values():
+    assert int(NodeType.A) == 0
+    assert int(NodeType.B) == 1
+
+
+def test_sha1_id_deterministic():
+    space = IdSpace(160)
+    assert sha1_id(space, b"x") == sha1_id(space, b"x")
+    assert sha1_id(space, b"x") != sha1_id(space, b"y")
+
+
+def test_sha1_id_fits_space():
+    for bits in (8, 32, 160, 200):
+        space = IdSpace(bits)
+        for data in (b"", b"a", b"hello world"):
+            assert 0 <= sha1_id(space, data) < space.size
+
+
+def test_sha1_id_wide_spaces_not_truncated_to_zero_high_bits():
+    space = IdSpace(320)  # wider than one SHA-1 digest
+    values = [sha1_id(space, bytes([i])) for i in range(32)]
+    assert any(v >> 160 for v in values), "high bits never populated"
+
+
+def test_chord_id_for_address_depends_on_port():
+    space = IdSpace(160)
+    assert chord_id_for_address(space, "10.0.0.1", 80) != chord_id_for_address(
+        space, "10.0.0.1", 81
+    )
+
+
+def test_random_chord_id_in_range():
+    space = IdSpace(24)
+    rng = random.Random(1)
+    for _ in range(100):
+        assert 0 <= random_chord_id(space, rng) < space.size
+
+
+def test_key_for_value_matches_sha1():
+    space = IdSpace(160)
+    assert key_for_value(space, b"block") == sha1_id(space, b"block")

@@ -1,0 +1,73 @@
+"""Unit tests for self-verifying blocks and the block store."""
+
+import pytest
+
+from repro.dht import BlockStore, IntegrityError, block_key, verify_block
+from repro.ids import IdSpace
+
+SPACE = IdSpace(32)
+
+
+def test_key_is_content_hash():
+    assert block_key(SPACE, b"v") == block_key(SPACE, b"v")
+    assert block_key(SPACE, b"v") != block_key(SPACE, b"w")
+
+
+def test_verify_block_accepts_matching():
+    value = b"hello"
+    verify_block(SPACE, block_key(SPACE, value), value)
+
+
+def test_verify_block_rejects_mismatch():
+    with pytest.raises(IntegrityError):
+        verify_block(SPACE, block_key(SPACE, b"a"), b"b")
+
+
+def test_store_put_get_roundtrip():
+    store = BlockStore(SPACE)
+    value = b"data"
+    key = block_key(SPACE, value)
+    store.put(key, value)
+    assert store.get(key) == value
+    assert key in store
+    assert len(store) == 1
+
+
+def test_store_rejects_forged_key():
+    store = BlockStore(SPACE)
+    with pytest.raises(IntegrityError):
+        store.put(123, b"not the preimage")
+    assert len(store) == 0
+
+
+def test_store_unverified_put_allowed_when_asked():
+    store = BlockStore(SPACE)
+    store.put(123, b"x", verify=False)
+    assert store.get(123) == b"x"
+
+
+def test_store_missing():
+    store = BlockStore(SPACE)
+    k1 = block_key(SPACE, b"one")
+    store.put(k1, b"one")
+    assert store.missing([k1, 42, 43]) == [42, 43]
+
+
+def test_store_delete_and_total_bytes():
+    store = BlockStore(SPACE)
+    k = block_key(SPACE, b"abcd")
+    store.put(k, b"abcd")
+    assert store.total_bytes == 4
+    store.delete(k)
+    assert store.get(k) is None
+    assert store.total_bytes == 0
+    store.delete(k)  # idempotent
+
+
+def test_store_keys_listing():
+    store = BlockStore(SPACE)
+    values = [b"a", b"b", b"c"]
+    keys = {block_key(SPACE, v) for v in values}
+    for v in values:
+        store.put(block_key(SPACE, v), v)
+    assert set(store.keys()) == keys

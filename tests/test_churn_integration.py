@@ -1,0 +1,127 @@
+"""Integration: rings under churn keep working (Fig. 5's regime)."""
+
+import random
+
+import pytest
+
+from repro.analysis import LookupStats
+from repro.chord import ChurnDriver, LookupStyle, LookupWorkload
+from repro.experiments.builders import VermeNodeFactory, build_ring
+from repro.chord.config import OverlayConfig
+from repro.ids import IdSpace, VermeIdLayout
+from repro.net import ConstantLatency, Network
+from repro.sim import RngRegistry, Simulator
+
+from conftest import population_of
+
+
+def churn_setup(verme: bool, num_nodes=48, seed=5):
+    space = IdSpace(32)
+    config = OverlayConfig(
+        space=space,
+        num_successors=6,
+        num_predecessors=6,
+        stabilize_interval_s=5.0,
+        finger_interval_s=10.0,
+    )
+    sim = Simulator()
+    network = Network(sim, ConstantLatency(num_hosts=num_nodes, one_way=0.02))
+    rngs = RngRegistry(seed)
+    layout = VermeIdLayout.for_sections(space, 8) if verme else None
+    ring = build_ring(sim, network, config, num_nodes, rngs, layout)
+    return ring, rngs
+
+
+@pytest.mark.parametrize("verme", [False, True], ids=["chord", "verme"])
+def test_lookups_keep_succeeding_under_churn(verme):
+    ring, rngs = churn_setup(verme)
+    churn = ChurnDriver(
+        ring.sim, ring.population, ring.factory, rngs.stream("churn"),
+        mean_lifetime_s=120.0, rejoin_delay_s=1.0,
+    )
+    churn.start()
+    stats = LookupStats()
+    workload = LookupWorkload(
+        ring.sim, ring.population, rngs.stream("load"),
+        style=LookupStyle.RECURSIVE, mean_interval_s=5.0, stats=stats,
+    )
+    workload.start()
+    ring.sim.run(until=600.0)
+    assert churn.deaths > 10, "churn must actually have happened"
+    assert churn.joins > 5
+    assert stats.total > 100
+    assert stats.failure_rate < 0.10
+
+
+def test_population_size_stays_stable_under_churn():
+    ring, rngs = churn_setup(verme=False)
+    n0 = len(ring.population)
+    churn = ChurnDriver(
+        ring.sim, ring.population, ring.factory, rngs.stream("churn"),
+        mean_lifetime_s=60.0, rejoin_delay_s=0.5,
+    )
+    churn.start()
+    sizes = []
+    for _ in range(12):
+        ring.sim.run(until=ring.sim.now + 50.0)
+        sizes.append(len(ring.population))
+    assert min(sizes) > 0.6 * n0
+    assert max(sizes) <= n0
+
+
+def test_rejoined_nodes_get_fresh_incarnations():
+    ring, rngs = churn_setup(verme=False, num_nodes=16)
+    churn = ChurnDriver(
+        ring.sim, ring.population, ring.factory, rngs.stream("churn"),
+        mean_lifetime_s=30.0, rejoin_delay_s=0.5,
+    )
+    churn.start()
+    ring.sim.run(until=300.0)
+    assert churn.deaths > 5
+    incarnations = [n.address.incarnation for n in ring.population.nodes]
+    assert any(i > 0 for i in incarnations)
+
+
+def test_verme_churn_preserves_host_types():
+    """A replaced node keeps its host's platform type — machines do not
+    change platforms when the client restarts."""
+    ring, rngs = churn_setup(verme=True)
+    factory = ring.factory
+    assert isinstance(factory, VermeNodeFactory)
+    churn = ChurnDriver(
+        ring.sim, ring.population, ring.factory, rngs.stream("churn"),
+        mean_lifetime_s=60.0, rejoin_delay_s=0.5,
+    )
+    churn.start()
+    ring.sim.run(until=400.0)
+    for node in ring.population.nodes:
+        assert node.node_type == factory.type_for_host(node.address.host_slot)
+
+
+def test_churn_rejects_bad_lifetime():
+    ring, rngs = churn_setup(verme=False, num_nodes=8)
+    with pytest.raises(ValueError):
+        ChurnDriver(
+            ring.sim, ring.population, ring.factory, rngs.stream("churn"),
+            mean_lifetime_s=0.0,
+        )
+
+
+def test_routing_state_reconverges_after_churn_burst():
+    ring, rngs = churn_setup(verme=False)
+    rng = rngs.stream("killer")
+    victims = rng.sample(ring.population.nodes, 10)
+    for v in victims:
+        ring.population.remove(v)
+        v.crash()
+    ring.sim.run(until=ring.sim.now + 200.0)
+    live_ids = sorted(n.node_id for n in ring.population.nodes)
+    import bisect
+
+    for node in ring.population.nodes:
+        succ = node.successors.first
+        assert succ is not None
+        expected = live_ids[
+            bisect.bisect_right(live_ids, node.node_id) % len(live_ids)
+        ]
+        assert succ.node_id == expected

@@ -1,0 +1,134 @@
+"""Tests for lifetime distributions and scripted churn replay."""
+
+import random
+
+import pytest
+
+from repro.chord import ChurnDriver, ChurnEvent, ScriptedChurn
+
+from conftest import build_chord_ring, population_of
+
+
+def make_driver(ring, **kwargs):
+    class _NullFactory:
+        def create(self, host_slot, incarnation):
+            raise AssertionError("not needed")
+
+    return ChurnDriver(
+        ring.sim, population_of(ring.nodes), _NullFactory(), random.Random(1),
+        **kwargs,
+    )
+
+
+def test_exponential_lifetime_mean():
+    ring = build_chord_ring(num_nodes=4)
+    driver = make_driver(ring, mean_lifetime_s=100.0)
+    samples = [driver.sample_lifetime() for _ in range(5000)]
+    assert 90 < sum(samples) / len(samples) < 110
+
+
+def test_pareto_lifetime_mean_and_tail():
+    ring = build_chord_ring(num_nodes=4)
+    driver = make_driver(
+        ring, mean_lifetime_s=100.0, lifetime_distribution="pareto",
+        pareto_alpha=1.5,
+    )
+    samples = [driver.sample_lifetime() for _ in range(20000)]
+    mean = sum(samples) / len(samples)
+    assert 80 < mean < 130  # heavy tail: noisy mean, same target
+    x_min = 100.0 * (1.5 - 1.0) / 1.5
+    assert min(samples) >= x_min - 1e-9
+    # Heavy tail: the Pareto maximum dwarfs an exponential's.
+    assert max(samples) > 1000
+
+
+def test_unknown_distribution_rejected():
+    ring = build_chord_ring(num_nodes=4)
+    with pytest.raises(ValueError):
+        make_driver(ring, mean_lifetime_s=10.0, lifetime_distribution="uniform")
+
+
+def test_pareto_alpha_validated():
+    ring = build_chord_ring(num_nodes=4)
+    with pytest.raises(ValueError):
+        make_driver(
+            ring, mean_lifetime_s=10.0, lifetime_distribution="pareto",
+            pareto_alpha=1.0,
+        )
+
+
+def test_churn_event_validation():
+    with pytest.raises(ValueError):
+        ChurnEvent(1.0, 0, "reboot")
+
+
+def test_scripted_churn_replays_trace():
+    from repro.chord.config import OverlayConfig
+    from repro.experiments.builders import build_ring
+    from repro.ids import IdSpace
+    from repro.net import ConstantLatency, Network
+    from repro.sim import RngRegistry, Simulator
+
+    sim = Simulator()
+    net = Network(sim, ConstantLatency(num_hosts=16, one_way=0.02))
+    ring = build_ring(sim, net, OverlayConfig(space=IdSpace(32), num_successors=4),
+                      16, RngRegistry(5))
+    trace = [
+        ChurnEvent(10.0, 3, "leave"),
+        ChurnEvent(20.0, 7, "leave"),
+        ChurnEvent(60.0, 3, "join"),
+    ]
+    scripted = ScriptedChurn(sim, ring.population, ring.factory, random.Random(2), trace)
+    scripted.start()
+    sim.run(until=15.0)
+    assert len(ring.population) == 15
+    assert all(n.address.host_slot != 3 for n in ring.population.nodes)
+    sim.run(until=50.0)
+    assert len(ring.population) == 14
+    sim.run(until=300.0)
+    assert len(ring.population) == 15  # host 3 rejoined
+    rejoined = [n for n in ring.population.nodes if n.address.host_slot == 3]
+    assert rejoined and rejoined[0].address.incarnation == 1
+    assert scripted.applied == 3
+    assert scripted.skipped == 0
+
+
+def test_scripted_churn_skips_impossible_events():
+    from repro.chord.config import OverlayConfig
+    from repro.experiments.builders import build_ring
+    from repro.ids import IdSpace
+    from repro.net import ConstantLatency, Network
+    from repro.sim import RngRegistry, Simulator
+
+    sim = Simulator()
+    net = Network(sim, ConstantLatency(num_hosts=8, one_way=0.02))
+    ring = build_ring(sim, net, OverlayConfig(space=IdSpace(32), num_successors=4),
+                      8, RngRegistry(7))
+    trace = [
+        ChurnEvent(5.0, 2, "join"),   # already present -> skip
+        ChurnEvent(10.0, 2, "leave"),
+        ChurnEvent(15.0, 2, "leave"),  # already gone -> skip
+    ]
+    scripted = ScriptedChurn(sim, ring.population, ring.factory, random.Random(3), trace)
+    scripted.start()
+    sim.run(until=100.0)
+    assert scripted.applied == 1
+    assert scripted.skipped == 2
+
+
+def test_churn_trace_sorted_regardless_of_input_order():
+    from repro.chord.config import OverlayConfig
+    from repro.experiments.builders import build_ring
+    from repro.ids import IdSpace
+    from repro.net import ConstantLatency, Network
+    from repro.sim import RngRegistry, Simulator
+
+    sim = Simulator()
+    net = Network(sim, ConstantLatency(num_hosts=8, one_way=0.02))
+    ring = build_ring(sim, net, OverlayConfig(space=IdSpace(32), num_successors=4),
+                      8, RngRegistry(9))
+    trace = [ChurnEvent(50.0, 1, "leave"), ChurnEvent(10.0, 0, "leave")]
+    scripted = ScriptedChurn(sim, ring.population, ring.factory, random.Random(4), trace)
+    scripted.start()
+    sim.run(until=200.0)
+    assert scripted.applied == 2

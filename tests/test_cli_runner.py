@@ -1,0 +1,60 @@
+"""Smoke tests for the command-line experiment runner."""
+
+import pytest
+
+import repro.experiments.runner as runner_mod
+from repro.experiments.runner import main
+
+
+def test_fig8_smoke(capsys):
+    assert main(["fig8", "--runs", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "verme-compromise" in out
+    assert "scenario" in out
+    assert "[fig8 done" in out
+
+
+def test_runner_rejects_unknown_figure():
+    with pytest.raises(SystemExit):
+        main(["fig9"])
+
+
+def test_runner_requires_figure():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_fig6_smoke(monkeypatch, capsys):
+    """Shrink the config so the CLI path runs in seconds."""
+    from repro.experiments.dht_ops import DhtExperimentConfig
+
+    original = DhtExperimentConfig
+
+    def tiny(num_nodes=400, num_sections=32, **kwargs):
+        kwargs.setdefault("num_puts", 5)
+        kwargs.setdefault("num_gets", 5)
+        return original(num_nodes=100, num_sections=8, **kwargs)
+
+    monkeypatch.setattr(runner_mod, "DhtExperimentConfig", tiny)
+    assert main(["fig6"]) == 0
+    out = capsys.readouterr().out
+    assert "secure-verdi" in out
+    assert "mean_lat_s" in out
+
+
+def test_fig5_smoke(monkeypatch, capsys):
+    from repro.experiments.fig5_lookup_latency import Fig5Config
+
+    original = Fig5Config
+
+    def tiny(**kwargs):
+        return original(
+            num_nodes=50, duration_s=240.0, warmup_s=30.0,
+            mean_lifetimes_s=(3600.0,), **kwargs,
+        )
+
+    monkeypatch.setattr(runner_mod, "Fig5Config", tiny)
+    assert main(["fig5"]) == 0
+    out = capsys.readouterr().out
+    assert "chord-transitive" in out
+    assert "verme" in out

@@ -1,0 +1,76 @@
+"""Validation tests for the configuration dataclasses."""
+
+import pytest
+
+from repro.chord.config import OverlayConfig
+from repro.dht import DhtConfig
+from repro.ids import IdSpace
+from repro.net.gtitm import GtItmConfig
+from repro.worm import WormParams
+
+
+def test_overlay_config_defaults_match_paper():
+    cfg = OverlayConfig()
+    assert cfg.num_successors == 10
+    assert cfg.num_predecessors == 10
+    assert cfg.stabilize_interval_s == 30.0
+    assert cfg.finger_interval_s == 60.0
+    assert cfg.space.bits == 160
+
+
+def test_overlay_config_validation():
+    with pytest.raises(ValueError):
+        OverlayConfig(num_successors=0)
+    with pytest.raises(ValueError):
+        OverlayConfig(rpc_timeout_s=0)
+    with pytest.raises(ValueError):
+        OverlayConfig(lookup_timeout_s=-1)
+
+
+def test_dht_config_validation_and_split():
+    with pytest.raises(ValueError):
+        DhtConfig(num_replicas=0)
+    assert DhtConfig(num_replicas=6).replicas_per_section == 3
+    assert DhtConfig(num_replicas=7).replicas_per_section == 3
+    assert DhtConfig(num_replicas=1).replicas_per_section == 1
+
+
+def test_worm_params_paper_defaults():
+    p = WormParams()
+    assert (p.scan_rate_per_s, p.infect_time_s, p.activation_delay_s) == (
+        100.0, 0.1, 1.0,
+    )
+
+
+def test_gtitm_stub_router_count():
+    cfg = GtItmConfig(num_hosts=10)
+    assert cfg.num_stub_routers() == (
+        cfg.transit_domains
+        * cfg.transit_nodes_per_domain
+        * cfg.stubs_per_transit_node
+        * cfg.stub_nodes_per_stub
+    )
+
+
+def test_fig_configs_paper_scale_roundtrip():
+    from repro.experiments import DhtExperimentConfig, Fig5Config, Fig8Config
+
+    f5 = Fig5Config().paper_scale()
+    assert f5.num_nodes == 1740
+    assert f5.num_sections == 128
+    assert f5.duration_s == 43200.0
+    assert len(f5.mean_lifetimes_s) == 5
+    assert f5.runs == 8
+
+    dht = DhtExperimentConfig().paper_scale()
+    assert dht.num_nodes == 1740
+    assert dht.num_sections == 128
+
+    f8 = Fig8Config().paper_scale()
+    assert f8.scenario_config.num_nodes == 100_000
+    assert f8.scenario_config.num_sections == 4096
+    assert f8.runs == 10
+
+
+def test_id_space_default_is_160_bit():
+    assert IdSpace().bits == 160

@@ -1,0 +1,131 @@
+"""THE paper invariant (§3): no node's routing state may contain a node
+of the same type from a *different* section — this is exactly what
+confines a topological worm to its island.
+
+Checked three ways: on converged protocol rings, on static snapshots at
+scale, and as a hypothesis property over random populations.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chord.state import NodeInfo
+from repro.ids import IdSpace, VermeIdLayout
+from repro.net import NodeAddress
+from repro.overlay import VermeStaticOverlay
+from repro.worm.knowledge import verme_knowledge
+
+from conftest import build_verme_ring
+
+
+def assert_containment(layout, node_id, known_ids):
+    """No same-type knowledge outside the node's own section."""
+    for known in known_ids:
+        if known == node_id:
+            continue
+        same_type = layout.same_type(known, node_id)
+        same_section = layout.same_section(known, node_id)
+        adjacent = layout.section_index(known) in (
+            layout.section_index(node_id),
+            (layout.section_index(node_id) + 1) % layout.num_sections,
+            (layout.section_index(node_id) - 1) % layout.num_sections,
+        )
+        # Successor/predecessor lists may spill into *adjacent* sections
+        # (which are opposite-type by construction); fingers are either
+        # in-section or opposite-type.  What must NEVER happen:
+        assert not (same_type and not same_section), (
+            f"node {node_id:#x} knows same-type node {known:#x} "
+            f"in a different section"
+        )
+        del adjacent  # documented above; the assert is the invariant
+
+
+def test_protocol_ring_routing_state_contained():
+    ring = build_verme_ring(num_nodes=96, num_sections=8, seed=3)
+    for node in ring.nodes:
+        known = (
+            [e.node_id for e in node.successors]
+            + [e.node_id for e in node.predecessors]
+            + [e.node_id for e in node.fingers.entries()]
+        )
+        # Successor lists can legally cross into the next (opposite
+        # type) section; the invariant is about same-type leakage only.
+        assert_containment(ring.layout, node.node_id, known)
+
+
+def test_protocol_ring_stays_contained_after_maintenance():
+    ring = build_verme_ring(num_nodes=96, num_sections=8, seed=5)
+    ring.sim.run(until=300)  # several stabilization + finger rounds
+    for node in ring.nodes:
+        known = (
+            [e.node_id for e in node.successors]
+            + [e.node_id for e in node.predecessors]
+            + [e.node_id for e in node.fingers.entries()]
+        )
+        assert_containment(ring.layout, node.node_id, known)
+
+
+def test_static_snapshot_contained_at_scale():
+    space = IdSpace(32)
+    layout = VermeIdLayout.for_sections(space, 64)
+    rng = random.Random(7)
+    used = set()
+    infos = []
+    for i in range(2000):
+        nid = layout.random_id(rng, i % 2)
+        while nid in used:
+            nid = layout.random_id(rng, i % 2)
+        used.add(nid)
+        infos.append(NodeInfo(nid, NodeAddress(i)))
+    overlay = VermeStaticOverlay(layout, infos)
+    for idx in range(0, len(overlay), 37):  # sample nodes
+        entries = overlay.routing_entries(idx, num_successors=10, num_predecessors=10)
+        assert_containment(
+            layout, overlay.ids[idx], [e.node_id for e in entries]
+        )
+
+
+def test_worm_knowledge_is_single_section():
+    """The worm's (type-filtered) knowledge never leaves the island."""
+    space = IdSpace(32)
+    layout = VermeIdLayout.for_sections(space, 32)
+    rng = random.Random(11)
+    used = set()
+    infos = []
+    for i in range(800):
+        nid = layout.random_id(rng, i % 2)
+        while nid in used:
+            nid = layout.random_id(rng, i % 2)
+        used.add(nid)
+        infos.append(NodeInfo(nid, NodeAddress(i)))
+    overlay = VermeStaticOverlay(layout, infos)
+    knowledge = verme_knowledge(overlay)
+    for idx in range(0, len(overlay), 23):
+        own_section = layout.section_index(overlay.ids[idx])
+        for target in knowledge.targets_of(idx):
+            assert layout.section_index(overlay.ids[target]) == own_section
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_containment_property_random_populations(seed):
+    space = IdSpace(24)
+    layout = VermeIdLayout.for_sections(space, 16)
+    rng = random.Random(seed)
+    used = set()
+    infos = []
+    for i in range(rng.randint(8, 120)):
+        nid = layout.random_id(rng, rng.randint(0, 1))
+        while nid in used:
+            nid = layout.random_id(rng, rng.randint(0, 1))
+        used.add(nid)
+        infos.append(NodeInfo(nid, NodeAddress(i)))
+    overlay = VermeStaticOverlay(layout, infos)
+    for idx in range(len(overlay)):
+        fingers = overlay.finger_table(idx)
+        assert_containment(
+            layout, overlay.ids[idx], [e.node_id for e in fingers.values()]
+        )

@@ -1,0 +1,66 @@
+"""Unit tests for certificates and sealed payloads."""
+
+import pytest
+
+from repro.crypto import (
+    CertificateAuthority,
+    CertificateError,
+    KeyPair,
+    SealError,
+    seal,
+)
+from repro.ids import NodeType
+
+
+def test_issue_and_verify():
+    ca = CertificateAuthority()
+    cert, keys = ca.issue(0x1234, NodeType.A)
+    assert ca.verify(cert)
+    assert cert.node_id == 0x1234
+    assert cert.claimed_type is NodeType.A
+    assert cert.true_type is NodeType.A
+    assert not cert.is_impersonation
+    assert keys.matches(cert.public_key)
+
+
+def test_foreign_certificate_rejected():
+    ca1, ca2 = CertificateAuthority(), CertificateAuthority()
+    cert, _ = ca1.issue(1, NodeType.A)
+    assert not ca2.verify(cert)
+    with pytest.raises(CertificateError):
+        ca2.require_valid(cert)
+
+
+def test_impersonated_certificate_verifies_but_is_flagged():
+    ca = CertificateAuthority()
+    cert, _ = ca.issue_impersonated(2, claimed_type=NodeType.B, true_type=NodeType.A)
+    # The CA cannot tell (that is the attack premise)...
+    assert ca.verify(cert)
+    # ...but experiments can.
+    assert cert.is_impersonation
+    assert cert.claimed_type is NodeType.B
+    assert cert.true_type is NodeType.A
+
+
+def test_key_pairs_are_unique():
+    keys = {KeyPair.generate().public for _ in range(100)}
+    assert len(keys) == 100
+
+
+def test_sealed_payload_opens_with_right_key():
+    keys = KeyPair.generate()
+    box = seal(keys.public, ["secret", 42])
+    assert box.open(keys) == ["secret", 42]
+
+
+def test_sealed_payload_rejects_wrong_key():
+    keys, other = KeyPair.generate(), KeyPair.generate()
+    box = seal(keys.public, "secret")
+    with pytest.raises(SealError):
+        box.open(other)
+
+
+def test_sealed_repr_does_not_leak():
+    keys = KeyPair.generate()
+    box = seal(keys.public, "top-secret-address")
+    assert "top-secret-address" not in repr(box)

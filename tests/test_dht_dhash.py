@@ -1,0 +1,127 @@
+"""Integration tests for the DHash baseline DHT over Chord."""
+
+import random
+
+import pytest
+
+from repro.dht import DhtConfig, DHashNode, block_key
+
+from conftest import build_chord_ring
+
+
+def attach_dhash(ring, num_replicas=4):
+    layers = [DHashNode(node, DhtConfig(num_replicas=num_replicas)) for node in ring.nodes]
+    for layer in layers:
+        layer.start()
+    return layers
+
+
+def do_put(ring, layer, value):
+    results = []
+    layer.put(value, results.append)
+    ring.sim.run(until=ring.sim.now + 120)
+    assert results
+    return results[0]
+
+
+def do_get(ring, layer, key):
+    results = []
+    layer.get(key, results.append)
+    ring.sim.run(until=ring.sim.now + 120)
+    assert results
+    return results[0]
+
+
+def test_put_get_roundtrip(chord_ring):
+    layers = attach_dhash(chord_ring)
+    value = b"the quick brown fox" * 10
+    put = do_put(chord_ring, layers[0], value)
+    assert put.ok
+    assert put.key == block_key(chord_ring.config.space, value)
+    got = do_get(chord_ring, layers[-1], put.key)
+    assert got.ok
+    assert got.value == value
+
+
+def test_get_from_any_client(chord_ring):
+    layers = attach_dhash(chord_ring)
+    value = b"shared-data"
+    put = do_put(chord_ring, layers[3], value)
+    rng = random.Random(1)
+    for layer in rng.sample(layers, 5):
+        got = do_get(chord_ring, layer, put.key)
+        assert got.ok and got.value == value
+
+
+def test_get_missing_key_fails(chord_ring):
+    layers = attach_dhash(chord_ring)
+    res = do_get(chord_ring, layers[0], 0x12345)
+    assert not res.ok
+    assert res.error
+
+
+def test_block_placed_on_key_successors(chord_ring):
+    layers = attach_dhash(chord_ring)
+    value = b"placement-check"
+    put = do_put(chord_ring, layers[0], value)
+    chord_ring.sim.run(until=chord_ring.sim.now + 5)  # background pushes
+    holders = {
+        layer.node.node_id for layer in layers if put.key in layer.store
+    }
+    expected = {
+        e.node_id for e in chord_ring.overlay.replica_group(put.key, 4)
+    }
+    assert holders == expected
+
+
+def test_replication_survives_primary_crash(chord_ring):
+    layers = attach_dhash(chord_ring)
+    value = b"durable-block"
+    put = do_put(chord_ring, layers[0], value)
+    chord_ring.sim.run(until=chord_ring.sim.now + 5)
+    owner = chord_ring.overlay.at(chord_ring.overlay.owner(put.key).index)
+    chord_ring.node_for(owner.node_id).crash()
+    chord_ring.sim.run(until=chord_ring.sim.now + 120)  # stabilize routing
+    live_layers = [l for l in layers if l.node.alive]
+    got = do_get(chord_ring, random.Random(2).choice(live_layers), put.key)
+    assert got.ok and got.value == value
+
+
+def test_data_stabilization_heals_new_owner(chord_ring):
+    """After the owner crashes, periodic sync pushes the block to the
+    node that became responsible."""
+    layers = attach_dhash(chord_ring)
+    value = b"healing-check"
+    put = do_put(chord_ring, layers[0], value)
+    chord_ring.sim.run(until=chord_ring.sim.now + 5)
+    owner = chord_ring.overlay.at(chord_ring.overlay.owner(put.key).index)
+    chord_ring.node_for(owner.node_id).crash()
+    # Run long enough for stabilization + data sync rounds.
+    chord_ring.sim.run(until=chord_ring.sim.now + 400)
+    live = sorted(n.node_id for n in chord_ring.nodes if n.alive)
+    import bisect
+
+    new_owner_id = live[bisect.bisect_left(live, put.key) % len(live)]
+    new_owner_layer = next(l for l in layers if l.node.node_id == new_owner_id)
+    assert put.key in new_owner_layer.store
+
+
+def test_op_results_carry_latency_and_tags(chord_ring):
+    layers = attach_dhash(chord_ring)
+    put = do_put(chord_ring, layers[0], b"tagged")
+    assert put.latency_s > 0
+    assert put.op_tag > 0
+    got = do_get(chord_ring, layers[1], put.key)
+    assert got.op_tag != put.op_tag
+    assert chord_ring.network.accounting.bytes_for_op(got.op_tag) > 0
+
+
+def test_background_replication_not_tagged(chord_ring):
+    layers = attach_dhash(chord_ring)
+    put = do_put(chord_ring, layers[0], b"untagged-replication")
+    chord_ring.sim.run(until=chord_ring.sim.now + 5)
+    acct = chord_ring.network.accounting
+    assert acct.category_bytes("replication") > 0
+    # The op tag covers only lookup + primary store, far less than
+    # total replication traffic would add.
+    assert acct.bytes_for_op(put.op_tag) < acct.total_bytes

@@ -1,0 +1,259 @@
+"""Tests for VerDi replication placement and the three variants'
+functional behaviour (paper §5.2-§5.3)."""
+
+import random
+
+import pytest
+
+from repro.crypto import SealedPayload
+from repro.dht import (
+    CompromiseVerDiNode,
+    DhtConfig,
+    FastVerDiNode,
+    SecureVerDiNode,
+    block_key,
+)
+from repro.ids import NodeType
+
+from conftest import build_verme_ring
+
+
+def attach(ring, cls, num_replicas=6):
+    layers = [cls(node, DhtConfig(num_replicas=num_replicas)) for node in ring.nodes]
+    for layer in layers:
+        layer.start()
+    return layers
+
+
+def do_op(ring, fn, *args):
+    results = []
+    fn(*args, results.append)
+    ring.sim.run(until=ring.sim.now + 240)
+    assert results
+    return results[0]
+
+
+@pytest.fixture(params=[FastVerDiNode, SecureVerDiNode, CompromiseVerDiNode])
+def variant(request):
+    return request.param
+
+
+def test_put_get_roundtrip_each_variant(variant):
+    ring = build_verme_ring(num_nodes=96, num_sections=8, seed=3)
+    layers = attach(ring, variant)
+    value = b"verdi-block" * 20
+    put = do_op(ring, layers[0].put, value)
+    assert put.ok, put.error
+    got = do_op(ring, layers[-1].get, put.key)
+    assert got.ok, got.error
+    assert got.value == value
+
+
+def test_cross_type_clients_can_both_read(variant):
+    """Data must be available to clients of both types (§5.2/§5.3.1)."""
+    ring = build_verme_ring(num_nodes=96, num_sections=8, seed=5)
+    layers = attach(ring, variant)
+    writer = next(l for l in layers if l.node.node_type is NodeType.A)
+    value = b"both-types-read-me"
+    put = do_op(ring, writer.put, value)
+    assert put.ok, put.error
+    ring.sim.run(until=ring.sim.now + 120)  # let replication settle
+    reader_a = next(
+        l for l in layers if l.node.node_type is NodeType.A and l is not writer
+    )
+    reader_b = next(l for l in layers if l.node.node_type is NodeType.B)
+    for reader in (reader_a, reader_b):
+        got = do_op(ring, reader.get, put.key)
+        assert got.ok, got.error
+        assert got.value == value
+
+
+def test_fast_verdi_replicas_in_both_type_sections():
+    ring = build_verme_ring(num_nodes=128, num_sections=8, seed=7)
+    layers = attach(ring, FastVerDiNode)
+    value = b"two-section-placement"
+    put = do_op(ring, layers[0].put, value)
+    assert put.ok
+    ring.sim.run(until=ring.sim.now + 10)
+    holder_types = {
+        int(l.node.node_type) for l in layers if put.key in l.store
+    }
+    assert holder_types == {0, 1}, "replicas must live in both types"
+
+
+def test_secure_verdi_single_section_placement():
+    ring = build_verme_ring(num_nodes=128, num_sections=8, seed=9)
+    layers = attach(ring, SecureVerDiNode)
+    value = b"one-section-placement"
+    put = do_op(ring, layers[0].put, value)
+    assert put.ok
+    ring.sim.run(until=ring.sim.now + 10)
+    holder_sections = {
+        ring.layout.section_index(l.node.node_id)
+        for l in layers
+        if put.key in l.store
+    }
+    assert len(holder_sections) == 1
+
+
+def test_fast_verdi_lookup_rejects_same_type_initiator():
+    """The §5.3.1 type check at the responsible node."""
+    ring = build_verme_ring(num_nodes=96, num_sections=8, seed=11)
+    attach(ring, FastVerDiNode)
+    node = ring.nodes[0]
+    # Look up a key in a section of the node's OWN type (no adjustment).
+    key = ring.layout.random_id(random.Random(1), int(node.node_type))
+    from repro.chord import LookupPurpose, LookupStyle
+
+    results = []
+    node.lookup(
+        key, on_done=results.append,
+        style=LookupStyle.RECURSIVE, purpose=LookupPurpose.DHT,
+    )
+    ring.sim.run(until=ring.sim.now + 120)
+    assert results and not results[0].success
+
+
+def test_fast_verdi_fetch_rejects_same_type_requester():
+    ring = build_verme_ring(num_nodes=96, num_sections=8, seed=13)
+    layers = attach(ring, FastVerDiNode)
+    value = b"guarded-fetch"
+    put = do_op(ring, layers[0].put, value)
+    ring.sim.run(until=ring.sim.now + 10)
+    holder = next(l for l in layers if put.key in l.store)
+    same_type_peer = next(
+        l
+        for l in layers
+        if l.node.node_type is holder.node.node_type and l is not holder
+    )
+    errors = []
+    same_type_peer.node.rpc.call(
+        holder.node.address,
+        "dht_fetch",
+        {"key": put.key, "cert": same_type_peer.node.cert},
+        on_error=errors.append,
+    )
+    ring.sim.run(until=ring.sim.now + 10)
+    assert errors == ["same-type fetch rejected"]
+
+
+def test_fast_verdi_fetched_value_sealed_for_requester():
+    ring = build_verme_ring(num_nodes=96, num_sections=8, seed=15)
+    layers = attach(ring, FastVerDiNode)
+    value = b"sealed-in-transit"
+    put = do_op(ring, layers[0].put, value)
+    ring.sim.run(until=ring.sim.now + 10)
+    holder = next(l for l in layers if put.key in l.store)
+    opposite = next(
+        l for l in layers if l.node.node_type is not holder.node.node_type
+    )
+    replies = []
+    opposite.node.rpc.call(
+        holder.node.address,
+        "dht_fetch",
+        {"key": put.key, "cert": opposite.node.cert},
+        on_reply=replies.append,
+    )
+    ring.sim.run(until=ring.sim.now + 10)
+    assert replies and replies[0]["found"]
+    assert isinstance(replies[0]["value"], SealedPayload)
+    assert replies[0]["value"].open(opposite.node.keys) == value
+
+
+def test_secure_verdi_raw_dht_lookup_rejected():
+    """In Secure-VerDi, address-returning DHT lookups do not exist."""
+    ring = build_verme_ring(num_nodes=96, num_sections=8, seed=17)
+    attach(ring, SecureVerDiNode)
+    from repro.chord import LookupPurpose, LookupStyle
+
+    node = ring.nodes[0]
+    results = []
+    node.lookup(
+        0xABCDEF, on_done=results.append,
+        style=LookupStyle.RECURSIVE, purpose=LookupPurpose.DHT,
+    )
+    ring.sim.run(until=ring.sim.now + 120)
+    assert results and not results[0].success
+
+
+def test_secure_verdi_get_returns_no_addresses():
+    ring = build_verme_ring(num_nodes=96, num_sections=8, seed=19)
+    layers = attach(ring, SecureVerDiNode)
+    value = b"addressless-get"
+    put = do_op(ring, layers[0].put, value)
+    assert put.ok
+    # Instrument the client's lookup to inspect the raw result.
+    from repro.chord import LookupPurpose
+
+    client = layers[5]
+    raw = []
+    client.node.lookup(
+        put.key,
+        on_done=raw.append,
+        purpose=LookupPurpose.DHT,
+        request_meta={"op": "get", "suppress_entries": True, "op_tag": 0},
+    )
+    ring.sim.run(until=ring.sim.now + 240)
+    assert raw and raw[0].success
+    assert raw[0].entries == []  # no replica addresses disclosed
+    assert raw[0].app_payload["found"]
+
+
+def test_compromise_relay_performs_operation():
+    ring = build_verme_ring(num_nodes=96, num_sections=8, seed=21)
+    layers = attach(ring, CompromiseVerDiNode)
+    value = b"relayed-op"
+    put = do_op(ring, layers[0].put, value)
+    assert put.ok
+    got = do_op(ring, layers[7].get, put.key)
+    assert got.ok and got.value == value
+    assert sum(l.relayed_operations for l in layers) >= 1
+
+
+def test_compromise_relay_rejects_invalid_certificate():
+    ring = build_verme_ring(num_nodes=96, num_sections=8, seed=23)
+    layers = attach(ring, CompromiseVerDiNode)
+    client, relay = layers[0], layers[1]
+    errors = []
+    client.node.rpc.call(
+        relay.node.address,
+        "verdi_relay",
+        {"op": "get", "key": 1, "cert": None, "statement": ("vouch",)},
+        on_error=errors.append,
+    )
+    ring.sim.run(until=ring.sim.now + 10)
+    assert errors == ["invalid initiator certificate"]
+
+
+def test_compromise_relay_requires_statement():
+    ring = build_verme_ring(num_nodes=96, num_sections=8, seed=25)
+    layers = attach(ring, CompromiseVerDiNode)
+    client, relay = layers[0], layers[1]
+    errors = []
+    client.node.rpc.call(
+        relay.node.address,
+        "verdi_relay",
+        {"op": "get", "key": 1, "cert": client.node.cert, "statement": None},
+        on_error=errors.append,
+    )
+    ring.sim.run(until=ring.sim.now + 10)
+    assert errors == ["missing signed statement"]
+
+
+def test_verdi_requires_verme_node(chord_ring):
+    with pytest.raises(TypeError):
+        FastVerDiNode(chord_ring.nodes[0], DhtConfig())
+
+
+def test_adjusted_key_always_opposite_type():
+    ring = build_verme_ring(num_nodes=64, num_sections=8, seed=27)
+    layers = attach(ring, FastVerDiNode)
+    rng = random.Random(31)
+    for layer in layers[:8]:
+        for _ in range(10):
+            key = rng.getrandbits(32)
+            adjusted = layer.adjusted_key(key)
+            assert ring.layout.type_of(adjusted) != int(layer.node.node_type)
+            # Same in-section offset: the displaced position is "the same
+            # position of the subsequent section".
+            assert ring.layout.offset_in_section(adjusted) == ring.layout.offset_in_section(key)

@@ -1,0 +1,134 @@
+"""Unit and property tests for ring arithmetic — the foundation of all
+routing decisions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ids import IdSpace
+
+SPACE = IdSpace(16)
+ids = st.integers(min_value=0, max_value=SPACE.size - 1)
+
+
+def test_size():
+    assert IdSpace(8).size == 256
+
+
+def test_validate_accepts_range():
+    assert SPACE.validate(0) == 0
+    assert SPACE.validate(SPACE.size - 1) == SPACE.size - 1
+
+
+@pytest.mark.parametrize("bad", [-1, 2**16, 2**20])
+def test_validate_rejects_out_of_range(bad):
+    with pytest.raises(ValueError):
+        SPACE.validate(bad)
+
+
+def test_needs_at_least_one_bit():
+    with pytest.raises(ValueError):
+        IdSpace(0)
+
+
+def test_wrap():
+    assert SPACE.wrap(SPACE.size) == 0
+    assert SPACE.wrap(SPACE.size + 5) == 5
+    assert SPACE.wrap(-1) == SPACE.size - 1
+
+
+def test_distance_simple():
+    assert SPACE.distance(10, 20) == 10
+    assert SPACE.distance(20, 10) == SPACE.size - 10
+    assert SPACE.distance(7, 7) == 0
+
+
+def test_in_open_basic():
+    assert SPACE.in_open(5, 1, 10)
+    assert not SPACE.in_open(1, 1, 10)
+    assert not SPACE.in_open(10, 1, 10)
+
+
+def test_in_open_wrapping():
+    near_end = SPACE.size - 2
+    assert SPACE.in_open(near_end, SPACE.size - 5, 3)
+    assert SPACE.in_open(1, SPACE.size - 5, 3)
+    assert not SPACE.in_open(100, SPACE.size - 5, 3)
+
+
+def test_in_open_degenerate_full_ring():
+    # (a, a) is the whole ring minus a — the Chord convention.
+    assert SPACE.in_open(5, 9, 9)
+    assert not SPACE.in_open(9, 9, 9)
+
+
+def test_in_half_open_includes_right_end():
+    assert SPACE.in_half_open(10, 1, 10)
+    assert not SPACE.in_half_open(1, 1, 10)
+
+
+def test_in_closed_open_includes_left_end():
+    assert SPACE.in_closed_open(1, 1, 10)
+    assert not SPACE.in_closed_open(10, 1, 10)
+
+
+def test_power_of_two_target():
+    assert SPACE.power_of_two_target(0, 3) == 8
+    assert SPACE.power_of_two_target(SPACE.size - 1, 0) == 0
+
+
+def test_power_of_two_target_bounds():
+    with pytest.raises(ValueError):
+        SPACE.power_of_two_target(0, SPACE.bits)
+    with pytest.raises(ValueError):
+        SPACE.power_of_two_target(0, -1)
+
+
+# -- properties ---------------------------------------------------------------
+
+
+@given(ids, ids)
+def test_distance_antisymmetric_unless_equal(a, b):
+    if a == b:
+        assert SPACE.distance(a, b) == 0
+    else:
+        assert SPACE.distance(a, b) + SPACE.distance(b, a) == SPACE.size
+
+
+@given(ids, ids, ids)
+def test_distance_triangle_on_ring(a, b, c):
+    # Going a->b->c clockwise covers a->c plus possibly whole laps.
+    total = SPACE.distance(a, b) + SPACE.distance(b, c)
+    assert total % SPACE.size == SPACE.distance(a, c) % SPACE.size
+
+
+@given(ids, ids, ids)
+def test_open_interval_partition(x, a, b):
+    """Any x != a,b is in exactly one of (a,b) and (b,a)."""
+    if x in (a, b) or a == b:
+        return
+    assert SPACE.in_open(x, a, b) != SPACE.in_open(x, b, a)
+
+
+@given(ids, ids, ids)
+def test_half_open_consistency(x, a, b):
+    if a == b:
+        assert SPACE.in_half_open(x, a, b)
+        return
+    expected = SPACE.in_open(x, a, b) or x == b
+    assert SPACE.in_half_open(x, a, b) == expected
+
+
+@given(ids, ids, ids)
+def test_closed_open_consistency(x, a, b):
+    if a == b:
+        assert SPACE.in_closed_open(x, a, b)
+        return
+    expected = SPACE.in_open(x, a, b) or x == a
+    assert SPACE.in_closed_open(x, a, b) == expected
+
+
+@given(ids, ids)
+def test_rotation_invariance(a, shift):
+    b = SPACE.wrap(a + shift)
+    assert SPACE.distance(a, b) == SPACE.distance(0, SPACE.wrap(shift))

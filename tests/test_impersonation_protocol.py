@@ -1,0 +1,147 @@
+"""Protocol-level impersonation: what each VerDi design actually leaks
+to an attacker holding a wrong-type certificate (paper §5.3, the
+mechanism behind Fig. 8's harvest rates)."""
+
+import random
+
+import pytest
+
+from repro.chord import LookupPurpose, LookupStyle, OverlayConfig, instant_bootstrap
+from repro.crypto import CertificateAuthority
+from repro.dht import CompromiseVerDiNode, DhtConfig, FastVerDiNode, SecureVerDiNode
+from repro.ids import IdSpace, NodeType, VermeIdLayout
+from repro.net import ConstantLatency, Network, NodeAddress
+from repro.sim import Simulator
+from repro.verme import VermeNode
+
+
+def build_with_impersonator(dht_cls, num_nodes=128, num_sections=8, seed=17):
+    space = IdSpace(64)
+    layout = VermeIdLayout.for_sections(space, num_sections)
+    config = OverlayConfig(space=space, num_successors=6, num_predecessors=6)
+    sim = Simulator()
+    network = Network(sim, ConstantLatency(num_hosts=num_nodes + 1, one_way=0.02))
+    ca = CertificateAuthority()
+    rng = random.Random(seed)
+    nodes, used = [], set()
+    for i in range(num_nodes):
+        node_type = NodeType(i % 2)
+        nid = layout.random_id(rng, node_type)
+        while nid in used:
+            nid = layout.random_id(rng, node_type)
+        used.add(nid)
+        cert, keys = ca.issue(nid, node_type)
+        nodes.append(VermeNode(sim, network, config, layout, cert, keys, ca,
+                               NodeAddress(i), random.Random(i)))
+    imp_id = layout.random_id(rng, NodeType.B)
+    cert, keys = ca.issue_impersonated(imp_id, NodeType.B, true_type=NodeType.A)
+    imp = VermeNode(sim, network, config, layout, cert, keys, ca,
+                    NodeAddress(num_nodes), random.Random(num_nodes))
+    nodes.append(imp)
+    instant_bootstrap(nodes)
+    dhts = [dht_cls(n, DhtConfig(num_replicas=6)) for n in nodes]
+    return sim, layout, nodes, dhts, imp
+
+
+def issue_harvest_lookups(sim, layout, imp, count=20, seed=23):
+    rng = random.Random(seed)
+    outcomes = []
+    for _ in range(count):
+        key = layout.random_key(rng)
+        if NodeType(layout.type_of(key)) is not NodeType.A:
+            key = layout.opposite_type_position(key)
+        imp.lookup(key, on_done=outcomes.append,
+                   style=LookupStyle.RECURSIVE, purpose=LookupPurpose.DHT)
+    sim.run(until=sim.now + 300)
+    harvested = set()
+    for res in outcomes:
+        if res.success:
+            harvested.update(
+                e.node_id for e in res.entries
+                if NodeType(layout.type_of(e.node_id)) is NodeType.A
+            )
+    return outcomes, harvested
+
+
+def test_fast_verdi_leaks_victim_addresses():
+    sim, layout, _n, _d, imp = build_with_impersonator(FastVerDiNode)
+    outcomes, harvested = issue_harvest_lookups(sim, layout, imp)
+    assert all(r.success for r in outcomes)
+    assert len(harvested) >= 15  # fresh victim addresses per lookup
+
+
+def test_secure_verdi_refuses_harvest_lookups():
+    sim, layout, _n, _d, imp = build_with_impersonator(SecureVerDiNode)
+    outcomes, harvested = issue_harvest_lookups(sim, layout, imp)
+    assert all(not r.success for r in outcomes)
+    assert harvested == set()
+
+
+def test_secure_verdi_piggybacked_ops_leak_nothing():
+    """Even legitimate piggybacked operations return no addresses."""
+    sim, layout, _nodes, dhts, imp = build_with_impersonator(SecureVerDiNode)
+    writer = next(d for d in dhts if d.node is not imp)
+    done = []
+    writer.put(b"secure-bait", done.append)
+    sim.run(until=sim.now + 120)
+    assert done and done[0].ok
+    imp_dht = next(d for d in dhts if d.node is imp)
+    got = []
+    imp_dht.get(done[0].key, got.append)
+    sim.run(until=sim.now + 120)
+    assert got and got[0].ok  # data is served...
+    # ...but the impersonator's lookup result carried no entries; the
+    # only victim-type addresses it knows are its original fingers.
+    raw = []
+    imp.lookup(
+        done[0].key, on_done=raw.append, purpose=LookupPurpose.DHT,
+        request_meta={"op": "get", "suppress_entries": True, "op_tag": 0},
+    )
+    sim.run(until=sim.now + 120)
+    assert raw[0].success
+    assert raw[0].entries == []
+
+
+def test_compromise_verdi_blocks_direct_harvest_via_relay_requirement():
+    """In Compromise-VerDi the client-side engine always relays, so the
+    impersonator acting as a *client* reveals itself to its relay and
+    receives data, not addresses."""
+    sim, layout, _nodes, dhts, imp = build_with_impersonator(CompromiseVerDiNode)
+    writer = next(d for d in dhts if d.node is not imp)
+    done = []
+    writer.put(b"compromise-bait", done.append)
+    sim.run(until=sim.now + 180)
+    assert done and done[0].ok
+    imp_dht = next(d for d in dhts if d.node is imp)
+    got = []
+    imp_dht.get(done[0].key, got.append)
+    sim.run(until=sim.now + 180)
+    assert got and got[0].ok
+    assert got[0].value == b"compromise-bait"
+
+
+def test_compromise_verdi_relay_passively_observes_initiators():
+    """The §5.3.3 residual leak: an impersonating relay sees the
+    initiators (and, executing the relayed Fast-get, the replica
+    addresses) of operations routed through it."""
+    sim, layout, nodes, dhts, imp = build_with_impersonator(CompromiseVerDiNode)
+    imp_dht = next(d for d in dhts if d.node is imp)
+    # Find a type-A client whose relay choice for some key is the
+    # impersonator, then have it perform a get.
+    writer = next(d for d in dhts if d.node.node_type is NodeType.A)
+    done = []
+    writer.put(b"relayed-bait", done.append)
+    sim.run(until=sim.now + 180)
+    assert done and done[0].ok
+    relayed_before = imp_dht.relayed_operations
+    clients = [d for d in dhts if d.node.node_type is NodeType.A]
+    for client in clients:
+        relay = client._pick_relay(done[0].key)
+        if relay is not None and relay.node_id == imp.node_id:
+            got = []
+            client.get(done[0].key, got.append)
+            sim.run(until=sim.now + 180)
+            assert got and got[0].ok
+            assert imp_dht.relayed_operations == relayed_before + 1
+            return
+    pytest.skip("no client picked the impersonator as relay in this ring")

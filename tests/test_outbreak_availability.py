@@ -1,0 +1,144 @@
+"""Protocol-level counterpart of ablation A2: a worm wipes out a whole
+platform type.  What actually survives, on a live ring?
+
+Findings this module pins down (also recorded in DESIGN.md §7):
+
+* the surviving type's ring *heals in-band* — stabilization plus the
+  predecessor fallback reconnects a B-only ring within a few rounds;
+* every block survives in storage (§5.2's claim: an outbreak in one
+  type cannot wipe out all copies);
+* **Fast-VerDi's read path is nevertheless blocked**: its anti-harvest
+  rule only lets clients fetch from *opposite-type* replicas, and those
+  are exactly the dead ones — the same-type copies exist but are
+  unreadable by design until the other type recovers;
+* **Secure-VerDi loses roughly half the data outright**: it replicates
+  in a single section (§5.3.2), so blocks whose key section was the
+  dead type have no surviving copy — §5.2's "worm outbreak cannot wipe
+  out all copies" guarantee belongs to the *two-section* variants.
+  The keys that landed in surviving-type sections stay fully readable.
+"""
+
+import random
+
+import pytest
+
+from repro.dht import DhtConfig, FastVerDiNode, SecureVerDiNode
+from repro.ids import NodeType
+
+from conftest import build_verme_ring
+
+
+def run_outbreak(dht_cls, seed):
+    ring = build_verme_ring(num_nodes=128, num_sections=8, seed=seed)
+    layers = [dht_cls(n, DhtConfig(num_replicas=6)) for n in ring.nodes]
+    rng = random.Random(1)
+    keys = []
+    for i in range(10):
+        value = bytes([i]) * 300
+        results = []
+        rng.choice(layers).put(value, results.append)
+        ring.sim.run(until=ring.sim.now + 120)
+        assert results and results[0].ok, results and results[0].error
+        keys.append((results[0].key, value))
+    ring.sim.run(until=ring.sim.now + 120)  # replication settles
+    for node in ring.nodes:  # the outbreak
+        if node.node_type is NodeType.A:
+            node.crash()
+    ring.sim.run(until=ring.sim.now + 300)  # several stabilize rounds
+    return ring, layers, keys
+
+
+@pytest.fixture(scope="module")
+def fast_outbreak():
+    return run_outbreak(FastVerDiNode, seed=401)
+
+
+@pytest.fixture(scope="module")
+def secure_outbreak():
+    return run_outbreak(SecureVerDiNode, seed=403)
+
+
+def test_surviving_ring_heals_in_band(fast_outbreak):
+    """Stabilization plus the predecessor fallback reconnects the
+    surviving type's ring: every survivor regains a live successor, and
+    the overwhelming majority point at their exact ring successor."""
+    ring, _layers, _keys = fast_outbreak
+    survivors = [n for n in ring.nodes if n.alive]
+    assert survivors and all(n.node_type is NodeType.B for n in survivors)
+    import bisect
+
+    live_ids = sorted(n.node_id for n in survivors)
+    exact = 0
+    for node in survivors:
+        succ = node.successors.first
+        assert succ is not None
+        assert ring.network.is_registered(succ.address), "dead successor kept"
+        expected = live_ids[
+            bisect.bisect_right(live_ids, node.node_id) % len(live_ids)
+        ]
+        if succ.node_id == expected:
+            exact += 1
+    assert exact >= 0.9 * len(survivors)
+
+
+def test_every_block_survives_in_storage(fast_outbreak):
+    ring, layers, keys = fast_outbreak
+    for key, value in keys:
+        holders = [l for l in layers if l.node.alive and l.store.get(key) == value]
+        assert holders, f"no live replica of {key:#x}"
+        assert all(l.node.node_type is NodeType.B for l in holders)
+
+
+def test_fast_verdi_reads_blocked_by_type_rule(fast_outbreak):
+    """The trade-off: the anti-harvest fetch rule points surviving
+    clients exclusively at the dead type's replicas."""
+    ring, layers, keys = fast_outbreak
+    survivors = [l for l in layers if l.node.alive]
+    rng = random.Random(2)
+    successes = 0
+    for key, value in keys[:5]:
+        results = []
+        rng.choice(survivors).get(key, results.append)
+        ring.sim.run(until=ring.sim.now + 240)
+        if results and results[0].ok:
+            successes += 1
+    assert successes == 0
+
+
+def test_secure_verdi_partial_survival_by_key_section(secure_outbreak):
+    """Single-section replication partitions the keys by fate: blocks
+    in dead-type sections lose every replica, blocks in surviving-type
+    sections keep all of theirs and are readable once membership
+    recovers.
+
+    (End-to-end reads are checked after a membership re-bootstrap:
+    in-band stabilization after a 50% correlated failure can heal the
+    ring into shortcut loops — the classic Chord pathology — leaving
+    some arcs unreachable until nodes re-join via a bootstrap service.)
+    """
+    ring, layers, keys = secure_outbreak
+    layout = ring.layout
+    # Storage fate, checked directly.
+    for key, value in keys:
+        holders = [l for l in layers if l.node.alive and l.store.get(key) == value]
+        if layout.type_of(key) == int(NodeType.A):
+            assert not holders, f"dead-section key {key:#x} kept a replica"
+        else:
+            assert holders, f"live-section key {key:#x} lost all replicas"
+    # Read path after membership recovery.
+    from repro.chord import instant_bootstrap
+
+    survivors_nodes = [n for n in ring.nodes if n.alive]
+    instant_bootstrap(survivors_nodes)
+    ring.sim.run(until=ring.sim.now + 60)
+    survivors = [l for l in layers if l.node.alive]
+    rng = random.Random(3)
+    for key, value in keys:
+        results = []
+        rng.choice(survivors).get(key, results.append)
+        ring.sim.run(until=ring.sim.now + 240)
+        ok = bool(results and results[0].ok and results[0].value == value)
+        if layout.type_of(key) == int(NodeType.A):
+            assert not ok, f"dead-section key {key:#x} readable?"
+        else:
+            assert ok, f"live-section key {key:#x} unreadable after recovery"

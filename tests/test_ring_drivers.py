@@ -1,0 +1,117 @@
+"""Unit tests for Population, LookupWorkload and ring construction."""
+
+import random
+
+import pytest
+
+from repro.analysis import LookupStats
+from repro.chord import LookupStyle, LookupWorkload, Population, instant_bootstrap
+from repro.chord.ring import make_static_overlay
+from repro.overlay import StaticOverlay, VermeStaticOverlay
+
+from conftest import build_chord_ring, build_verme_ring, population_of
+
+
+def test_population_add_remove_pick():
+    ring = build_chord_ring(num_nodes=8)
+    pop = population_of(ring.nodes)
+    assert len(pop) == 8
+    node = ring.nodes[0]
+    pop.remove(node)
+    assert len(pop) == 7
+    pop.remove(node)  # idempotent
+    assert len(pop) == 7
+    rng = random.Random(0)
+    for _ in range(20):
+        assert pop.pick(rng) is not node
+
+
+def test_population_pick_empty_is_none():
+    assert Population().pick(random.Random(0)) is None
+
+
+def test_population_iteration_snapshot():
+    ring = build_chord_ring(num_nodes=4)
+    pop = population_of(ring.nodes)
+    seen = []
+    for node in pop:
+        seen.append(node)
+        pop.remove(node)  # mutation during iteration must be safe
+    assert len(seen) == 4
+    assert len(pop) == 0
+
+
+def test_make_static_overlay_dispatches_on_node_type():
+    chord = build_chord_ring(num_nodes=8)
+    verme = build_verme_ring(num_nodes=16)
+    assert type(make_static_overlay(chord.nodes)) is StaticOverlay
+    assert isinstance(make_static_overlay(verme.nodes), VermeStaticOverlay)
+
+
+def test_instant_bootstrap_starts_nodes():
+    ring = build_chord_ring(num_nodes=8)
+    assert all(n.alive for n in ring.nodes)
+    assert all(ring.network.is_registered(n.address) for n in ring.nodes)
+
+
+def test_workload_issues_lookups_and_records():
+    ring = build_chord_ring(num_nodes=24, seed=5)
+    pop = population_of(ring.nodes)
+    stats = LookupStats()
+    wl = LookupWorkload(
+        ring.sim, pop, random.Random(1), style=LookupStyle.RECURSIVE,
+        mean_interval_s=5.0, stats=stats,
+    )
+    wl.start()
+    ring.sim.run(until=120.0)
+    # Aggregate rate = 24/5 per second -> roughly 24/5*120 lookups.
+    assert 300 < stats.total < 900
+    assert stats.failure_rate < 0.05
+
+
+def test_workload_stop_halts_issuing():
+    ring = build_chord_ring(num_nodes=16, seed=7)
+    pop = population_of(ring.nodes)
+    stats = LookupStats()
+    wl = LookupWorkload(
+        ring.sim, pop, random.Random(2), style=LookupStyle.RECURSIVE,
+        mean_interval_s=5.0, stats=stats,
+    )
+    wl.start()
+    ring.sim.run(until=60.0)
+    count = stats.total
+    assert count > 0
+    wl.stop()
+    ring.sim.run(until=300.0)
+    # In-flight lookups may still complete; nothing new is issued.
+    assert stats.total <= count + 5
+
+
+def test_workload_warmup_delays_first_lookup():
+    ring = build_chord_ring(num_nodes=16, seed=9)
+    pop = population_of(ring.nodes)
+    issued_at = []
+    stats = LookupStats()
+    wl = LookupWorkload(
+        ring.sim, pop, random.Random(3), style=LookupStyle.RECURSIVE,
+        mean_interval_s=2.0, stats=stats, warmup_s=50.0,
+        on_result=lambda res: issued_at.append(ring.sim.now),
+    )
+    wl.start()
+    ring.sim.run(until=120.0)
+    assert issued_at
+    assert min(issued_at) >= 50.0
+
+
+def test_workload_on_result_callback():
+    ring = build_chord_ring(num_nodes=16, seed=11)
+    pop = population_of(ring.nodes)
+    results = []
+    wl = LookupWorkload(
+        ring.sim, pop, random.Random(4), style=LookupStyle.TRANSITIVE,
+        mean_interval_s=2.0, on_result=results.append,
+    )
+    wl.start()
+    ring.sim.run(until=60.0)
+    assert results
+    assert all(r.success for r in results)

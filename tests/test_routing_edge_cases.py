@@ -1,0 +1,145 @@
+"""Edge cases of the routing engine: hop limits, duplicate tokens,
+pending-route GC, dead transitive origins, token staleness."""
+
+import random
+
+import pytest
+
+from repro.chord import LookupPurpose, LookupStyle
+from repro.chord.node import ChordNode
+
+from conftest import build_chord_ring, run_lookup
+
+
+def test_hop_limit_fails_lookup():
+    ring = build_chord_ring(num_nodes=32, seed=301)
+    # Cripple routing: strip fingers so every hop advances by one
+    # successor; with a tiny hop limit the lookup must fail cleanly.
+    for node in ring.nodes:
+        for k, _ in node.fingers.items():
+            node.fingers.set(k, None)
+    node = ring.nodes[0]
+    object.__setattr__(node.config, "max_lookup_hops", 3)
+    results = []
+    far_key = node.successors.entries[-1].node_id + 1  # beyond succ list
+    # pick a key more than 3 hops away: the node opposite on the ring
+    far_key = ring.overlay.at(
+        (ring.overlay.index_of(node.node_id) + 16) % len(ring.overlay)
+    ).node_id
+    node.lookup(far_key, on_done=results.append, style=LookupStyle.RECURSIVE)
+    ring.sim.run(until=ring.sim.now + 120)
+    assert results
+    assert not results[0].success
+
+
+def test_duplicate_route_forward_ignored():
+    ring = build_chord_ring(num_nodes=16, seed=303)
+    a, b = ring.nodes[0], ring.nodes[1]
+    params = {
+        "key": 42,
+        "token": ("dup-test", 1),
+        "style": LookupStyle.RECURSIVE,
+        "purpose": LookupPurpose.DHT,
+        "hops": 1,
+        "meta": None,
+        "extra_bytes": 0,
+        "origin": None,
+    }
+    for _ in range(3):
+        a.rpc.call(b.address, "route_forward", dict(params))
+    ring.sim.run(until=ring.sim.now + 30)
+    # Only one pending forward state survives for the token (duplicates
+    # dropped), and it is GC'ed afterwards.
+    assert len(b._forwards) <= 1
+    ring.sim.run(until=ring.sim.now + ring.config.pending_route_gc_s + 5)
+    assert ("dup-test", 1) not in b._forwards
+
+
+def test_forward_state_gc_expires():
+    ring = build_chord_ring(num_nodes=16, seed=305)
+    b = ring.nodes[1]
+    before = len(b._forwards)
+    params = {
+        "key": 7,
+        "token": ("gc-test", 9),
+        "style": LookupStyle.RECURSIVE,
+        "purpose": LookupPurpose.DHT,
+        "hops": 1,
+        "meta": None,
+        "extra_bytes": 0,
+        "origin": None,
+    }
+    ring.nodes[0].rpc.call(b.address, "route_forward", params)
+    ring.sim.run(until=ring.sim.now + 1)
+    ring.sim.run(until=ring.sim.now + ring.config.pending_route_gc_s + 10)
+    assert len(b._forwards) == before
+
+
+def test_stale_route_result_ignored():
+    ring = build_chord_ring(num_nodes=16, seed=307)
+    a, b = ring.nodes[0], ring.nodes[1]
+    a.rpc.send_one_way(
+        b.address,
+        "route_result",
+        {"token": ("stale", 1), "ok": True, "payload": [], "app_payload": None,
+         "error": None, "hops": 1, "size": 100},
+    )
+    ring.sim.run(until=ring.sim.now + 10)  # must not raise
+
+
+def test_transitive_result_to_dead_origin_dropped():
+    ring = build_chord_ring(num_nodes=32, seed=309)
+    node = ring.nodes[0]
+    results = []
+    node.lookup(
+        random.Random(1).getrandbits(32),
+        on_done=results.append,
+        style=LookupStyle.TRANSITIVE,
+    )
+    node.crash()  # origin disappears before the answer returns
+    dropped_before = ring.network.dropped_messages
+    ring.sim.run(until=ring.sim.now + 60)
+    assert results == []
+    assert ring.network.dropped_messages > dropped_before
+
+
+def test_lookup_key_equal_to_own_id(chord_ring):
+    node = chord_ring.nodes[0]
+    res = run_lookup(chord_ring, node, node.node_id, style=LookupStyle.RECURSIVE)
+    assert res.success
+    assert res.entries[0].node_id == node.node_id
+
+
+def test_lookup_key_equal_to_successor_id(chord_ring):
+    node = chord_ring.nodes[0]
+    succ = node.successors.first
+    res = run_lookup(chord_ring, node, succ.node_id, style=LookupStyle.RECURSIVE)
+    assert res.success
+    assert res.entries[0].node_id == succ.node_id
+
+
+def test_two_node_ring_lookups():
+    ring = build_chord_ring(num_nodes=2, seed=311)
+    a, b = ring.nodes
+    for key in (a.node_id, b.node_id, a.node_id + 1, b.node_id + 1):
+        key &= (1 << 32) - 1
+        res = run_lookup(ring, a, key, style=LookupStyle.RECURSIVE)
+        assert res.success
+        expected = ring.overlay.at(ring.overlay.owner(key).index).node_id
+        assert res.entries[0].node_id == expected
+
+
+def test_concurrent_lookups_do_not_interfere():
+    ring = build_chord_ring(num_nodes=48, seed=313)
+    rng = random.Random(5)
+    results = []
+    expectations = []
+    for _ in range(40):
+        key = rng.getrandbits(32)
+        node = rng.choice(ring.nodes)
+        expectations.append(ring.overlay.at(ring.overlay.owner(key).index).node_id)
+        node.lookup(key, on_done=results.append, style=LookupStyle.RECURSIVE)
+    ring.sim.run(until=ring.sim.now + 120)
+    assert len(results) == 40
+    got = sorted(r.entries[0].node_id for r in results if r.success)
+    assert got == sorted(expectations)

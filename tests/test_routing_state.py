@@ -1,0 +1,101 @@
+"""Unit tests for NeighborList and FingerTable."""
+
+from repro.chord.state import FingerTable, NeighborList, NodeInfo
+from repro.ids import IdSpace
+from repro.net import NodeAddress
+
+SPACE = IdSpace(8)
+
+
+def info(node_id, slot=None):
+    return NodeInfo(node_id, NodeAddress(slot if slot is not None else node_id))
+
+
+def test_successor_list_sorted_clockwise():
+    lst = NeighborList(SPACE, owner_id=100, limit=4, clockwise=True)
+    lst.merge([info(200), info(110), info(50), info(105)])
+    assert [e.node_id for e in lst] == [105, 110, 200, 50]
+
+
+def test_predecessor_list_sorted_counter_clockwise():
+    lst = NeighborList(SPACE, owner_id=100, limit=4, clockwise=False)
+    lst.merge([info(90), info(99), info(120), info(10)])
+    assert [e.node_id for e in lst] == [99, 90, 10, 120]
+
+
+def test_limit_enforced_keeping_closest():
+    lst = NeighborList(SPACE, owner_id=0, limit=2, clockwise=True)
+    lst.merge([info(30), info(10), info(20), info(5)])
+    assert [e.node_id for e in lst] == [5, 10]
+
+
+def test_owner_never_included():
+    lst = NeighborList(SPACE, owner_id=7, limit=4)
+    lst.merge([info(7), info(9)])
+    assert [e.node_id for e in lst] == [9]
+
+
+def test_merge_dedupes_by_id_preferring_new_incarnation():
+    lst = NeighborList(SPACE, owner_id=0, limit=4)
+    old = NodeInfo(5, NodeAddress(5, 0))
+    new = NodeInfo(5, NodeAddress(5, 1))
+    lst.merge([old])
+    lst.merge([new])
+    assert lst.entries == [new]
+
+
+def test_remove_address():
+    lst = NeighborList(SPACE, owner_id=0, limit=4)
+    lst.merge([info(5), info(9)])
+    lst.remove_address(NodeAddress(5))
+    assert [e.node_id for e in lst] == [9]
+
+
+def test_remove_id():
+    lst = NeighborList(SPACE, owner_id=0, limit=4)
+    lst.merge([info(5), info(9)])
+    lst.remove_id(9)
+    assert [e.node_id for e in lst] == [5]
+
+
+def test_replace_resets_contents():
+    lst = NeighborList(SPACE, owner_id=0, limit=4)
+    lst.merge([info(5)])
+    lst.replace([info(9), info(12)])
+    assert [e.node_id for e in lst] == [9, 12]
+
+
+def test_first_and_len_and_contains():
+    lst = NeighborList(SPACE, owner_id=0, limit=4)
+    assert lst.first is None
+    lst.merge([info(9), info(5)])
+    assert lst.first.node_id == 5
+    assert len(lst) == 2
+    assert info(9) in lst
+
+
+def test_finger_table_set_get_remove():
+    ft = FingerTable()
+    ft.set(7, info(50))
+    ft.set(6, info(40))
+    assert ft.get(7).node_id == 50
+    assert len(ft) == 2
+    ft.remove_address(NodeAddress(50))
+    assert ft.get(7) is None
+    assert len(ft) == 1
+
+
+def test_finger_table_set_none_clears():
+    ft = FingerTable()
+    ft.set(3, info(10))
+    ft.set(3, None)
+    assert ft.get(3) is None
+    assert ft.entries() == []
+
+
+def test_finger_table_items_and_entries():
+    ft = FingerTable()
+    ft.set(1, info(2))
+    ft.set(2, info(4))
+    assert sorted(k for k, _ in ft.items()) == [1, 2]
+    assert {e.node_id for e in ft.entries()} == {2, 4}

@@ -1,0 +1,162 @@
+"""Unit tests for the RPC layer: matching, timeouts, one-way, deferral."""
+
+import pytest
+
+from repro.chord.rpc import MIN_RPC_BYTES, RpcLayer
+from repro.net import ConstantLatency, Network, NodeAddress
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def pair():
+    sim = Simulator()
+    net = Network(sim, ConstantLatency(num_hosts=4, one_way=0.05))
+    a = RpcLayer(sim, net, NodeAddress(0), default_timeout_s=1.0)
+    b = RpcLayer(sim, net, NodeAddress(1), default_timeout_s=1.0)
+    a.start()
+    b.start()
+    return sim, net, a, b
+
+
+def test_call_reply_roundtrip(pair):
+    sim, _net, a, b = pair
+    b.register("echo", lambda params, ctx: ctx.respond(params["x"] * 2))
+    got = []
+    a.call(b.address, "echo", {"x": 21}, on_reply=got.append)
+    sim.run()
+    assert got == [42]
+
+
+def test_reply_latency_is_round_trip(pair):
+    sim, _net, a, b = pair
+    b.register("echo", lambda params, ctx: ctx.respond("ok"))
+    times = []
+    a.call(b.address, "echo", {}, on_reply=lambda r: times.append(sim.now))
+    sim.run()
+    assert times[0] == pytest.approx(0.10)
+
+
+def test_timeout_fires_when_peer_gone(pair):
+    sim, _net, a, _b = pair
+    errors = []
+    a.call(NodeAddress(2), "echo", {}, on_error=errors.append)
+    sim.run()
+    assert errors == ["timeout"]
+    assert sim.now == pytest.approx(1.0)
+
+
+def test_late_reply_after_timeout_ignored(pair):
+    sim, _net, a, b = pair
+
+    def slow(params, ctx):
+        sim.schedule(5.0, ctx.respond, "too late")
+
+    b.register("slow", slow)
+    replies, errors = [], []
+    a.call(b.address, "slow", {}, on_reply=replies.append, on_error=errors.append)
+    sim.run()
+    assert errors == ["timeout"]
+    assert replies == []
+
+
+def test_handler_fail_reaches_on_error(pair):
+    sim, _net, a, b = pair
+    b.register("boom", lambda params, ctx: ctx.fail("kaput"))
+    errors = []
+    a.call(b.address, "boom", {}, on_error=errors.append)
+    sim.run()
+    assert errors == ["kaput"]
+
+
+def test_unknown_method_fails(pair):
+    sim, _net, a, b = pair
+    errors = []
+    a.call(b.address, "nope", {}, on_error=errors.append)
+    sim.run()
+    assert errors and "no handler" in errors[0]
+
+
+def test_deferred_reply(pair):
+    sim, _net, a, b = pair
+
+    def deferred(params, ctx):
+        sim.schedule(0.2, ctx.respond, "later")
+
+    b.register("deferred", deferred)
+    got = []
+    a.call(b.address, "deferred", {}, on_reply=got.append)
+    sim.run()
+    assert got == ["later"]
+
+
+def test_double_respond_ignored(pair):
+    sim, _net, a, b = pair
+
+    def double(params, ctx):
+        ctx.respond("first")
+        ctx.respond("second")
+
+    b.register("double", double)
+    got = []
+    a.call(b.address, "double", {}, on_reply=got.append)
+    sim.run()
+    assert got == ["first"]
+
+
+def test_one_way_dispatches_without_reply(pair):
+    sim, _net, a, b = pair
+    seen = []
+    b.register("note", lambda params, ctx: seen.append((params, ctx.one_way)))
+    a.send_one_way(b.address, "note", {"v": 1})
+    sim.run()
+    assert seen == [({"v": 1}, True)]
+
+
+def test_one_way_respond_is_noop(pair):
+    sim, _net, a, b = pair
+    b.register("note", lambda params, ctx: ctx.respond("pointless"))
+    a.send_one_way(b.address, "note", {})
+    sim.run()  # must not raise or deliver anything to a
+
+
+def test_shutdown_cancels_pending_timers(pair):
+    sim, _net, a, _b = pair
+    errors = []
+    a.call(NodeAddress(2), "x", {}, on_error=errors.append)
+    a.shutdown()
+    sim.run()
+    assert errors == []  # no timeout callback after shutdown
+    assert not a.alive
+
+
+def test_cancel_suppresses_reply(pair):
+    sim, _net, a, b = pair
+    b.register("echo", lambda params, ctx: ctx.respond("ok"))
+    got = []
+    req = a.call(b.address, "echo", {}, on_reply=got.append)
+    a.cancel(req)
+    sim.run()
+    assert got == []
+
+
+def test_call_requires_started_layer():
+    sim = Simulator()
+    net = Network(sim, ConstantLatency(num_hosts=2))
+    rpc = RpcLayer(sim, net, NodeAddress(0), 1.0)
+    with pytest.raises(RuntimeError):
+        rpc.call(NodeAddress(1), "x", {})
+
+
+def test_duplicate_handler_rejected(pair):
+    _sim, _net, a, _b = pair
+    a.register("m", lambda p, c: None)
+    with pytest.raises(ValueError):
+        a.register("m", lambda p, c: None)
+
+
+def test_min_rpc_bytes_accounted(pair):
+    sim, net, a, b = pair
+    b.register("echo", lambda params, ctx: ctx.respond("ok"))
+    a.call(b.address, "echo", {}, category="lookup")
+    sim.run()
+    assert net.accounting.category_bytes("lookup") >= 2 * MIN_RPC_BYTES

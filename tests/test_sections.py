@@ -1,0 +1,151 @@
+"""Unit and property tests for the Verme id layout (paper §4.3)."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ids import IdSpace, NodeType, VermeIdLayout
+
+SPACE = IdSpace(16)
+LAYOUT = VermeIdLayout(SPACE, section_bits=5, type_bits=1)  # 2048 sections... no:
+# 16 - 1 - 5 = 10 high bits -> 2^11 = 2048 sections of length 32.
+
+ids = st.integers(min_value=0, max_value=SPACE.size - 1)
+
+
+def test_geometry():
+    assert LAYOUT.section_length == 32
+    assert LAYOUT.num_types == 2
+    assert LAYOUT.num_sections == 2048
+    assert LAYOUT.sections_per_type == 1024
+    assert LAYOUT.high_bits == 10
+
+
+def test_for_sections_constructor():
+    layout = VermeIdLayout.for_sections(SPACE, 128)
+    assert layout.num_sections == 128
+    assert layout.section_length == SPACE.size // 128
+
+
+def test_for_sections_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        VermeIdLayout.for_sections(SPACE, 100)
+
+
+def test_layout_validation():
+    with pytest.raises(ValueError):
+        VermeIdLayout(SPACE, section_bits=0)
+    with pytest.raises(ValueError):
+        VermeIdLayout(SPACE, section_bits=16)
+    with pytest.raises(ValueError):
+        VermeIdLayout(SPACE, section_bits=5, type_bits=0)
+
+
+def test_make_id_field_placement():
+    ident = LAYOUT.make_id(high=1, node_type=1, low=3)
+    assert ident == (1 << 6) | (1 << 5) | 3
+
+
+def test_make_id_range_checks():
+    with pytest.raises(ValueError):
+        LAYOUT.make_id(1 << 10, 0, 0)
+    with pytest.raises(ValueError):
+        LAYOUT.make_id(0, 2, 0)
+    with pytest.raises(ValueError):
+        LAYOUT.make_id(0, 0, 32)
+
+
+def test_adjacent_sections_have_different_types():
+    for idx in range(LAYOUT.num_sections - 1):
+        assert LAYOUT.type_of_section(idx) != LAYOUT.type_of_section(idx + 1)
+
+
+def test_two_type_sections_strictly_alternate():
+    types = [LAYOUT.type_of_section(i) for i in range(8)]
+    assert types == [0, 1, 0, 1, 0, 1, 0, 1]
+
+
+def test_section_bounds_cover_ring_exactly():
+    covered = 0
+    for idx in range(LAYOUT.num_sections):
+        start, end = LAYOUT.section_bounds(idx)
+        covered += end - start + 1
+    assert covered == SPACE.size
+
+
+def test_sections_of_type_counts():
+    type_a = list(LAYOUT.sections_of_type(0))
+    type_b = list(LAYOUT.sections_of_type(1))
+    assert len(type_a) == len(type_b) == LAYOUT.sections_per_type
+    assert set(type_a).isdisjoint(type_b)
+    assert all(LAYOUT.type_of_section(s) == 0 for s in type_a)
+
+
+def test_opposite_type_position_keeps_offset():
+    ident = LAYOUT.make_id(5, 0, 17)
+    moved = LAYOUT.opposite_type_position(ident)
+    assert LAYOUT.offset_in_section(moved) == 17
+    assert LAYOUT.type_of(moved) != LAYOUT.type_of(ident)
+
+
+def test_advance_sections_wraps():
+    last_section_id = LAYOUT.make_id((1 << 10) - 1, 1, 0)
+    wrapped = LAYOUT.advance_sections(last_section_id, 1)
+    assert LAYOUT.section_index(wrapped) == 0
+
+
+def test_random_id_encodes_requested_type():
+    rng = random.Random(0)
+    for node_type in (NodeType.A, NodeType.B):
+        for _ in range(50):
+            ident = LAYOUT.random_id(rng, int(node_type))
+            assert LAYOUT.type_of(ident) == int(node_type)
+
+
+# -- properties ------------------------------------------------------------------
+
+
+@given(ids)
+def test_split_roundtrip(ident):
+    high, node_type, low = LAYOUT.split(ident)
+    assert LAYOUT.make_id(high, node_type, low) == ident
+
+
+@given(ids)
+def test_section_index_consistent_with_split(ident):
+    high, node_type, _low = LAYOUT.split(ident)
+    assert LAYOUT.section_index(ident) == (high << 1) | node_type
+
+
+@given(ids)
+def test_type_matches_section_type(ident):
+    assert LAYOUT.type_of(ident) == LAYOUT.type_of_section(LAYOUT.section_index(ident))
+
+
+@given(ids)
+def test_id_within_its_section_bounds(ident):
+    start, end = LAYOUT.section_bounds(LAYOUT.section_index(ident))
+    assert start <= ident <= end
+
+
+@given(ids, st.integers(min_value=0, max_value=4096))
+def test_advance_sections_changes_index_by_count(ident, count):
+    moved = LAYOUT.advance_sections(ident, count)
+    expected = (LAYOUT.section_index(ident) + count) % LAYOUT.num_sections
+    assert LAYOUT.section_index(moved) == expected
+    assert LAYOUT.offset_in_section(moved) == LAYOUT.offset_in_section(ident)
+
+
+@given(ids)
+def test_opposite_type_position_is_involution_on_type(ident):
+    # Two hops lands back on the original type (sections alternate).
+    twice = LAYOUT.advance_sections(ident, 2)
+    assert LAYOUT.type_of(twice) == LAYOUT.type_of(ident)
+
+
+@given(ids, ids)
+def test_same_section_implies_same_type(a, b):
+    if LAYOUT.same_section(a, b):
+        assert LAYOUT.same_type(a, b)

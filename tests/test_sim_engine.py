@@ -1,0 +1,181 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, fired.append, "c")
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_fire_in_fifo_order():
+    sim = Simulator()
+    fired = []
+    for name in "abcde":
+        sim.schedule(1.0, fired.append, name)
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    sim.schedule(5.5, lambda: None)
+    sim.run()
+    assert sim.now == 5.5
+
+
+def test_zero_delay_runs_after_current_queue_front():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.0, fired.append, 1)
+    sim.schedule(0.0, fired.append, 2)
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_in_the_past_rejected():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert handle.cancelled
+    assert not handle.fired
+
+
+def test_cancel_is_idempotent_and_safe_after_fire():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert handle.fired
+    handle.cancel()  # no error
+    handle.cancel()
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(10.0, fired.append, "late")
+    sim.run(until=5.0)
+    assert fired == ["early"]
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_advances_clock_even_without_events():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_callbacks_can_schedule_more_events():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 5.0
+
+
+def test_max_events_bounds_execution():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(1.0, forever)
+
+    sim.schedule(0.0, forever)
+    sim.run(max_events=10)
+    assert sim.events_processed == 10
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(0.0, reenter)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_step_processes_exactly_one_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    assert sim.step()
+    assert fired == ["a"]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_step_skips_cancelled_events():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    handle.cancel()
+    assert sim.step()
+    assert fired == ["b"]
+
+
+def test_clear_drops_pending_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.clear()
+    sim.run()
+    assert fired == []
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(7):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_processed == 7
+
+
+def test_pending_events_counts_queue():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2

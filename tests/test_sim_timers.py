@@ -1,0 +1,89 @@
+"""Unit tests for periodic timers."""
+
+import random
+
+import pytest
+
+from repro.sim import PeriodicTimer, Simulator
+
+
+def test_fires_every_period():
+    sim = Simulator()
+    fired = []
+    timer = PeriodicTimer(sim, 10.0, lambda: fired.append(sim.now))
+    timer.start()
+    sim.run(until=35.0)
+    assert fired == [10.0, 20.0, 30.0]
+
+
+def test_stop_cancels_future_firings():
+    sim = Simulator()
+    fired = []
+    timer = PeriodicTimer(sim, 10.0, lambda: fired.append(sim.now))
+    timer.start()
+    sim.run(until=15.0)
+    timer.stop()
+    sim.run(until=100.0)
+    assert fired == [10.0]
+    assert not timer.running
+
+
+def test_start_is_idempotent():
+    sim = Simulator()
+    fired = []
+    timer = PeriodicTimer(sim, 10.0, lambda: fired.append(sim.now))
+    timer.start()
+    timer.start()
+    sim.run(until=25.0)
+    assert fired == [10.0, 20.0]
+
+
+def test_jitter_shifts_first_firing_only():
+    sim = Simulator()
+    fired = []
+    timer = PeriodicTimer(
+        sim, 10.0, lambda: fired.append(sim.now), jitter_rng=random.Random(3)
+    )
+    timer.start()
+    sim.run(until=50.0)
+    assert 0.0 <= fired[0] < 10.0
+    for a, b in zip(fired, fired[1:]):
+        assert b - a == pytest.approx(10.0)
+
+
+def test_callback_can_stop_timer():
+    sim = Simulator()
+    fired = []
+    timer = PeriodicTimer(sim, 5.0, lambda: (fired.append(sim.now), timer.stop()))
+    timer.start()
+    sim.run(until=100.0)
+    assert fired == [5.0]
+
+
+def test_interval_fn_drives_spacing():
+    sim = Simulator()
+    fired = []
+    intervals = iter([1.0, 2.0, 4.0, 100.0])
+    timer = PeriodicTimer(
+        sim, 1.0, lambda: fired.append(sim.now), interval_fn=lambda: next(intervals)
+    )
+    timer.start()
+    sim.run(until=50.0)
+    assert fired == [1.0, 3.0, 7.0]
+
+
+def test_restart_after_stop():
+    sim = Simulator()
+    fired = []
+    timer = PeriodicTimer(sim, 10.0, lambda: fired.append(sim.now))
+    timer.start()
+    sim.run(until=10.0)
+    timer.stop()
+    timer.start()
+    sim.run(until=25.0)
+    assert fired == [10.0, 20.0]
+
+
+def test_nonpositive_period_rejected():
+    with pytest.raises(ValueError):
+        PeriodicTimer(Simulator(), 0.0, lambda: None)

@@ -1,0 +1,237 @@
+"""Tests for static overlay snapshots, including consistency with the
+protocol-built rings (ground truth vs. live state)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chord.state import NodeInfo
+from repro.ids import IdSpace, NodeType, VermeIdLayout
+from repro.net import NodeAddress
+from repro.overlay import StaticOverlay, VermeStaticOverlay
+
+from conftest import build_chord_ring, build_verme_ring
+
+SPACE = IdSpace(16)
+LAYOUT = VermeIdLayout.for_sections(SPACE, 16)
+
+
+def make_overlay(ids):
+    infos = [NodeInfo(nid, NodeAddress(i)) for i, nid in enumerate(ids)]
+    return StaticOverlay(SPACE, infos)
+
+
+def make_verme_overlay(num_nodes=64, seed=1):
+    rng = random.Random(seed)
+    used = set()
+    infos = []
+    for i in range(num_nodes):
+        nid = LAYOUT.random_id(rng, i % 2)
+        while nid in used:
+            nid = LAYOUT.random_id(rng, i % 2)
+        used.add(nid)
+        infos.append(NodeInfo(nid, NodeAddress(i)))
+    return VermeStaticOverlay(LAYOUT, infos)
+
+
+# -- basic geometry ---------------------------------------------------------------
+
+
+def test_empty_population_rejected():
+    with pytest.raises(ValueError):
+        StaticOverlay(SPACE, [])
+
+
+def test_duplicate_ids_rejected():
+    with pytest.raises(ValueError):
+        make_overlay([5, 5])
+
+
+def test_successor_index_wraps():
+    ov = make_overlay([10, 20, 30])
+    assert ov.at(ov.successor_index(15)).node_id == 20
+    assert ov.at(ov.successor_index(20)).node_id == 20  # inclusive
+    assert ov.at(ov.successor_index(31)).node_id == 10  # wrap
+
+
+def test_predecessor_index():
+    ov = make_overlay([10, 20, 30])
+    assert ov.at(ov.predecessor_index(15)).node_id == 10
+    assert ov.at(ov.predecessor_index(10)).node_id == 30  # strict
+    assert ov.at(ov.predecessor_index(5)).node_id == 30
+
+
+def test_index_of_missing_raises():
+    ov = make_overlay([10])
+    with pytest.raises(KeyError):
+        ov.index_of(11)
+
+
+def test_successor_and_predecessor_lists_exclude_self():
+    ov = make_overlay([10, 20, 30])
+    succs = ov.successor_list(0, 5)
+    assert [e.node_id for e in succs] == [20, 30]
+    preds = ov.predecessor_list(0, 5)
+    assert [e.node_id for e in preds] == [30, 20]
+
+
+def test_chord_replica_group_is_owner_plus_successors():
+    ov = make_overlay([10, 20, 30, 40])
+    group = ov.replica_group(15, 3)
+    assert [e.node_id for e in group] == [20, 30, 40]
+
+
+def test_chord_finger_table_targets_resolved():
+    ov = make_overlay(sorted(random.Random(0).sample(range(SPACE.size), 32)))
+    idx = 0
+    fingers = ov.finger_table(idx)
+    node_id = ov.ids[idx]
+    for k, info in fingers.items():
+        target = SPACE.power_of_two_target(node_id, k)
+        assert info.node_id == ov.at(ov.successor_index(target)).node_id
+
+
+# -- Verme ownership (the §4.4 corner rule) ----------------------------------------------
+
+
+def test_verme_owner_successor_in_section():
+    ov = make_verme_overlay()
+    # Pick a key just below an existing node in its section.
+    target = ov.infos[5]
+    key = target.node_id - 1
+    if LAYOUT.same_section(key, target.node_id):
+        decision = ov.owner(key)
+        assert ov.at(decision.index).node_id == target.node_id
+        assert not decision.via_predecessor_rule
+
+
+def test_verme_owner_tail_gap_goes_to_predecessor():
+    ov = make_verme_overlay()
+    # Find a section whose last node is not at the section's very end.
+    for section in range(LAYOUT.num_sections):
+        members = ov.section_members(section)
+        if not members:
+            continue
+        last = members[-1]
+        _, end = LAYOUT.section_bounds(section)
+        if last.node_id < end:
+            key = last.node_id + 1  # in the tail gap
+            decision = ov.owner(key)
+            assert decision.via_predecessor_rule
+            assert ov.at(decision.index).node_id == last.node_id
+            return
+    pytest.fail("no tail gap found")
+
+
+def test_verme_owner_empty_section_falls_to_ring_predecessor():
+    # Build a tiny population that leaves sections empty.
+    rng = random.Random(3)
+    infos = [
+        NodeInfo(LAYOUT.make_id(1, 0, 5), NodeAddress(0)),
+        NodeInfo(LAYOUT.make_id(4, 1, 9), NodeAddress(1)),
+    ]
+    ov = VermeStaticOverlay(LAYOUT, infos)
+    empty_section_key = LAYOUT.make_id(2, 0, 0)
+    decision = ov.owner(empty_section_key)
+    assert decision.via_predecessor_rule
+    assert ov.at(decision.index).node_id == LAYOUT.make_id(1, 0, 5)
+
+
+def test_verme_replica_group_never_leaves_section():
+    ov = make_verme_overlay(num_nodes=128, seed=7)
+    rng = random.Random(9)
+    for _ in range(50):
+        key = rng.getrandbits(SPACE.bits)
+        group = ov.replica_group(key, 4)
+        assert group
+        section = LAYOUT.section_index(key)
+        owner_section = LAYOUT.section_index(group[0].node_id)
+        if owner_section == section:  # non-degenerate case
+            for member in group:
+                assert LAYOUT.section_index(member.node_id) == section
+
+
+def test_verme_replica_group_unique_members():
+    ov = make_verme_overlay(num_nodes=128, seed=8)
+    rng = random.Random(10)
+    for _ in range(30):
+        group = ov.replica_group(rng.getrandbits(SPACE.bits), 5)
+        ids = [e.node_id for e in group]
+        assert len(ids) == len(set(ids))
+
+
+def test_cross_type_replica_groups_have_opposite_types():
+    ov = make_verme_overlay(num_nodes=128, seed=11)
+    rng = random.Random(12)
+    for _ in range(30):
+        key = rng.getrandbits(SPACE.bits)
+        g1, g2 = ov.cross_type_replica_groups(key, 3)
+        t1 = {LAYOUT.type_of(e.node_id) for e in g1}
+        t2 = {LAYOUT.type_of(e.node_id) for e in g2}
+        if len(t1) == 1 and len(t2) == 1:
+            assert t1 != t2
+
+
+def test_section_members_sorted_and_complete():
+    ov = make_verme_overlay(num_nodes=64, seed=13)
+    total = sum(len(ov.section_members(s)) for s in range(LAYOUT.num_sections))
+    assert total == len(ov)
+
+
+# -- consistency between protocol rings and snapshots -----------------------------------
+
+
+def test_instant_bootstrap_matches_snapshot_chord():
+    ring = build_chord_ring(num_nodes=24, seed=17)
+    for node in ring.nodes:
+        idx = ring.overlay.index_of(node.node_id)
+        expected_succs = ring.overlay.successor_list(idx, ring.config.num_successors)
+        assert [e.node_id for e in node.successors] == [
+            e.node_id for e in expected_succs
+        ]
+        expected_fingers = ring.overlay.finger_table(idx)
+        assert {k: e.node_id for k, e in node.fingers.items()} == {
+            k: e.node_id for k, e in expected_fingers.items()
+        }
+
+
+def test_instant_bootstrap_matches_snapshot_verme():
+    ring = build_verme_ring(num_nodes=48, num_sections=8, seed=19)
+    for node in ring.nodes:
+        idx = ring.overlay.index_of(node.node_id)
+        expected_preds = ring.overlay.predecessor_list(
+            idx, ring.config.num_predecessors
+        )
+        assert [e.node_id for e in node.predecessors] == [
+            e.node_id for e in expected_preds
+        ]
+
+
+def test_protocol_lookup_agrees_with_snapshot_owner_verme():
+    ring = build_verme_ring(num_nodes=96, num_sections=8, seed=23)
+    rng = random.Random(29)
+    from repro.chord import LookupPurpose, LookupStyle
+    from conftest import run_lookup
+
+    for _ in range(20):
+        key = rng.getrandbits(32)
+        node = rng.choice(ring.nodes)
+        expected = ring.overlay.at(ring.overlay.owner(key).index)
+        res = run_lookup(
+            ring, node, key, style=LookupStyle.RECURSIVE, purpose=LookupPurpose.DHT
+        )
+        assert res.success
+        assert res.entries[0].node_id == expected.node_id
+
+
+# -- property: ownership is a partition -------------------------------------------------
+
+
+@settings(max_examples=30)
+@given(st.integers(min_value=0, max_value=SPACE.size - 1))
+def test_every_key_has_exactly_one_verme_owner(key):
+    ov = make_verme_overlay(num_nodes=64, seed=42)
+    decision = ov.owner(key)
+    assert 0 <= decision.index < len(ov)

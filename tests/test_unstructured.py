@@ -1,0 +1,144 @@
+"""Tests for the §6.2 tracker-based unstructured overlay."""
+
+import random
+
+import pytest
+
+from repro.crypto import CertificateAuthority
+from repro.ids import NodeType
+from repro.net import NodeAddress
+from repro.unstructured import (
+    Tracker,
+    TrackerConfig,
+    build_swarm,
+    run_swarm_worm,
+)
+
+CFG = TrackerConfig(island_size=16, same_island_neighbors=5, cross_type_neighbors=5)
+
+
+def make_tracker(containment=True, seed=1):
+    ca = CertificateAuthority()
+    return Tracker(CFG, ca, random.Random(seed), containment=containment), ca
+
+
+def announce(tracker, ca, peer_id, node_type, slot):
+    cert, _ = ca.issue(peer_id, node_type)
+    return tracker.announce(peer_id, NodeAddress(slot), cert)
+
+
+def test_announce_and_island_placement():
+    tracker, ca = make_tracker()
+    records = [announce(tracker, ca, i + 1, NodeType.A, i) for i in range(20)]
+    assert all(r is not None for r in records)
+    islands = tracker.islands_of(NodeType.A)
+    assert len(islands) == 2  # 20 peers / island_size 16
+    assert sum(len(i) for i in islands) == 20
+    assert max(len(i) for i in islands) <= CFG.island_size
+
+
+def test_announce_rejects_foreign_certificate():
+    tracker, _ca = make_tracker()
+    rogue = CertificateAuthority(issuer_id=9)
+    cert, _ = rogue.issue(42, NodeType.A)
+    assert tracker.announce(42, NodeAddress(0), cert) is None
+    assert tracker.rejected_announces == 1
+
+
+def test_announce_rejects_id_mismatch():
+    tracker, ca = make_tracker()
+    cert, _ = ca.issue(7, NodeType.A)
+    assert tracker.announce(8, NodeAddress(0), cert) is None
+
+
+def test_announce_idempotent():
+    tracker, ca = make_tracker()
+    a = announce(tracker, ca, 1, NodeType.A, 0)
+    cert, _ = ca.issue(1, NodeType.A)
+    b = tracker.announce(1, NodeAddress(0), cert)
+    assert a == b
+    assert len(tracker.peers) == 1
+
+
+def test_neighbors_respect_containment():
+    swarm = build_swarm(300, CFG, seed=3)
+    by_id = {p.peer_id: p for p in swarm.peers}
+    for peer_id, neighbors in swarm.neighbor_sets.items():
+        me = by_id[peer_id]
+        for n in neighbors:
+            if n.claimed_type is me.claimed_type:
+                assert n.island == me.island, "same-type cross-island link!"
+
+
+def test_neighbors_include_cross_type():
+    swarm = build_swarm(300, CFG, seed=4)
+    by_id = {p.peer_id: p for p in swarm.peers}
+    cross_counts = [
+        sum(1 for n in ns if n.claimed_type is not by_id[pid].claimed_type)
+        for pid, ns in swarm.neighbor_sets.items()
+    ]
+    assert min(cross_counts) >= 1
+
+
+def _same_type_component_sizes(swarm):
+    """Connected-component sizes of the same-type knowledge graph."""
+    graph = swarm.knowledge_graph(same_type_only=True)
+    seen = set()
+    sizes = []
+    for start in graph:
+        if start in seen:
+            continue
+        stack, component = [start], set()
+        while stack:
+            node = stack.pop()
+            if node in component:
+                continue
+            component.add(node)
+            stack.extend(graph.get(node, []))
+        seen |= component
+        sizes.append(len(component))
+    return sizes
+
+
+def test_naive_assignment_creates_giant_same_type_component():
+    naive = build_swarm(300, CFG, seed=5, containment=False)
+    contained = build_swarm(300, CFG, seed=5, containment=True)
+    assert max(_same_type_component_sizes(naive)) > 100
+    assert max(_same_type_component_sizes(contained)) <= CFG.island_size
+
+
+def test_neighbors_for_unknown_peer_raises():
+    tracker, _ca = make_tracker()
+    with pytest.raises(KeyError):
+        tracker.neighbors_for(404)
+
+
+def test_audit_assignment_counts():
+    swarm = build_swarm(200, CFG, seed=6)
+    assert swarm.tracker.audit_assignment(swarm.neighbor_sets) == 0
+    naive = build_swarm(200, CFG, seed=6, containment=False)
+    # Naive islands are all -1 so same-type links don't count as
+    # violations by the audit definition; check via explicit islands:
+    # instead assert that the containment swarm is clean and the worm
+    # results (below) discriminate the two.
+
+
+def test_worm_contained_on_tracker_overlay():
+    swarm = build_swarm(800, CFG, seed=7)
+    res = run_swarm_worm(swarm, until=200.0)
+    # Confined to roughly one island of the victim type.
+    assert res.infected <= 2 * CFG.island_size
+    assert res.containment_fraction < 0.15
+
+
+def test_worm_sweeps_naive_tracker_overlay():
+    swarm = build_swarm(800, CFG, seed=7, containment=False)
+    res = run_swarm_worm(swarm, until=200.0)
+    assert res.containment_fraction > 0.8
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TrackerConfig(island_size=1)
+    with pytest.raises(ValueError):
+        TrackerConfig(same_island_neighbors=-1)

@@ -1,0 +1,77 @@
+"""Tests for the immune-fraction extension (Zhou et al.'s observation
+that immune nodes slow/limit propagation; the paper's Fig. 8 uses 0)."""
+
+import random
+
+import pytest
+
+from repro.worm import (
+    WormScenarioConfig,
+    build_chord_population,
+    build_verme_population,
+    run_scenario,
+)
+
+
+def test_immune_fraction_validated():
+    with pytest.raises(ValueError):
+        WormScenarioConfig(immune_fraction=1.0)
+    with pytest.raises(ValueError):
+        WormScenarioConfig(immune_fraction=-0.1)
+
+
+def test_immune_fraction_shrinks_vulnerable_population():
+    base = WormScenarioConfig(num_nodes=2000, num_sections=64, seed=5)
+    patched = WormScenarioConfig(
+        num_nodes=2000, num_sections=64, seed=5, immune_fraction=0.4
+    )
+    pop0 = build_verme_population(base, random.Random(1))
+    pop1 = build_verme_population(patched, random.Random(1))
+    assert pop1.vulnerable_count < pop0.vulnerable_count
+    assert pop1.vulnerable_count == pytest.approx(0.6 * pop0.vulnerable_count, rel=0.1)
+
+
+def test_immunity_applies_to_chord_population_too():
+    cfg = WormScenarioConfig(num_nodes=2000, num_sections=64, seed=7, immune_fraction=0.5)
+    pop = build_chord_population(cfg, random.Random(2))
+    assert pop.vulnerable_count == pytest.approx(500, rel=0.2)
+
+
+def test_immune_nodes_never_infected():
+    cfg = WormScenarioConfig(num_nodes=1500, num_sections=64, seed=9, immune_fraction=0.5)
+    result = run_scenario("chord", cfg, until=120.0)
+    assert result.final_infected <= result.vulnerable_count
+
+
+def test_immunity_slows_chord_worm():
+    """Fewer susceptible neighbours -> slower generations and a smaller
+    final sweep."""
+    fast = run_scenario(
+        "chord", WormScenarioConfig(num_nodes=3000, num_sections=64, seed=11),
+        until=200.0,
+    )
+    slowed = run_scenario(
+        "chord",
+        WormScenarioConfig(
+            num_nodes=3000, num_sections=64, seed=11, immune_fraction=0.6
+        ),
+        until=200.0,
+    )
+    t50_fast = fast.time_to_fraction(0.5)
+    t50_slow = slowed.time_to_fraction(0.5)
+    assert t50_fast is not None and t50_slow is not None
+    assert t50_slow > t50_fast
+    # Immunity can even strand parts of the knowledge graph.
+    assert (
+        slowed.final_infected / slowed.vulnerable_count
+        <= fast.final_infected / fast.vulnerable_count + 1e-9
+    )
+
+
+def test_verme_containment_unaffected_by_immunity():
+    cfg = WormScenarioConfig(
+        num_nodes=1500, num_sections=64, seed=13, immune_fraction=0.3
+    )
+    result = run_scenario("verme", cfg, until=120.0)
+    # Still confined to ~one section (now with fewer susceptible nodes).
+    assert result.final_infected <= 3 * (cfg.num_nodes / cfg.num_sections)

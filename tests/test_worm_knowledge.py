@@ -1,0 +1,191 @@
+"""Tests for worm knowledge extraction and harvesters."""
+
+import random
+
+import pytest
+
+from repro.chord.state import NodeInfo
+from repro.ids import IdSpace, NodeType, VermeIdLayout
+from repro.net import NodeAddress
+from repro.overlay import StaticOverlay, VermeStaticOverlay
+from repro.sim import Simulator
+from repro.worm import (
+    CompromiseVerDiHarvester,
+    FastVerDiHarvester,
+    ImpersonatorKnowledge,
+    RoutingKnowledge,
+    WormSimulation,
+    chord_knowledge,
+    verme_knowledge,
+)
+
+SPACE = IdSpace(32)
+LAYOUT = VermeIdLayout.for_sections(SPACE, 32)
+
+
+def verme_overlay(n=600, seed=1, extra=None):
+    rng = random.Random(seed)
+    used = set()
+    infos = []
+    for i in range(n):
+        nid = LAYOUT.random_id(rng, i % 2)
+        while nid in used:
+            nid = LAYOUT.random_id(rng, i % 2)
+        used.add(nid)
+        infos.append(NodeInfo(nid, NodeAddress(i)))
+    if extra is not None:
+        infos.append(extra)
+    return VermeStaticOverlay(LAYOUT, infos)
+
+
+def test_chord_knowledge_unfiltered():
+    rng = random.Random(2)
+    ids = sorted(rng.sample(range(SPACE.size), 200))
+    overlay = StaticOverlay(SPACE, [NodeInfo(i, NodeAddress(n)) for n, i in enumerate(ids)])
+    knowledge = chord_knowledge(overlay, num_successors=5)
+    targets = knowledge.targets_of(0)
+    assert len(targets) >= 5
+    assert 0 not in targets
+
+
+def test_verme_knowledge_same_type_only():
+    overlay = verme_overlay()
+    knowledge = verme_knowledge(overlay, 5, 5)
+    for idx in range(0, len(overlay), 41):
+        own_type = LAYOUT.type_of(overlay.ids[idx])
+        for t in knowledge.targets_of(idx):
+            assert LAYOUT.type_of(overlay.ids[t]) == own_type
+
+
+def test_same_type_filter_requires_layout():
+    overlay = verme_overlay()
+    with pytest.raises(ValueError):
+        RoutingKnowledge(overlay, same_type_only=True)
+
+
+def test_chord_knowledge_with_node_types_filter():
+    rng = random.Random(3)
+    ids = sorted(rng.sample(range(SPACE.size), 100))
+    overlay = StaticOverlay(SPACE, [NodeInfo(i, NodeAddress(n)) for n, i in enumerate(ids)])
+    types = [n % 2 for n in range(100)]
+    knowledge = RoutingKnowledge(
+        overlay, num_successors=5, same_type_only=True,
+        layout=LAYOUT, node_types=types,
+    )
+    # layout given but node types explicit: layout wins per implementation;
+    # here we just verify filtering returns a subset of all entries.
+    unfiltered = RoutingKnowledge(overlay, num_successors=5)
+    for idx in (0, 10, 50):
+        assert set(knowledge.targets_of(idx)) <= set(unfiltered.targets_of(idx))
+
+
+def test_impersonator_knowledge_targets_victim_type():
+    imp_id = LAYOUT.random_id(random.Random(9), NodeType.B)
+    imp = NodeInfo(imp_id, NodeAddress(10_000))
+    overlay = verme_overlay(extra=imp)
+    base = verme_knowledge(overlay, 10, 10)
+    imp_idx = overlay.index_of(imp_id)
+    knowledge = ImpersonatorKnowledge(overlay=overlay, base=base,
+                                      impersonator_index=imp_idx,
+                                      victim_type=NodeType.A)
+    targets = knowledge.targets_of(imp_idx)
+    assert targets, "impersonator fingers must reach victim-type nodes"
+    for t in targets:
+        assert LAYOUT.type_of(overlay.ids[t]) == int(NodeType.A)
+    # Everyone else keeps the normal (same-type) knowledge.
+    other = (imp_idx + 1) % len(overlay)
+    assert knowledge.targets_of(other) == base.targets_of(other)
+
+
+def make_worm(overlay, seed_idx, victim=NodeType.A):
+    sim = Simulator()
+    vulnerable = [LAYOUT.type_of(i) == int(victim) for i in overlay.ids]
+    vulnerable[seed_idx] = False
+    worm = WormSimulation(
+        sim, len(overlay), vulnerable, verme_knowledge(overlay, 5, 5)
+    )
+    worm.seed(seed_idx)
+    return sim, worm, sum(vulnerable)
+
+
+def test_fast_harvester_feeds_victim_sections():
+    imp_id = LAYOUT.random_id(random.Random(11), NodeType.B)
+    overlay = verme_overlay(extra=NodeInfo(imp_id, NodeAddress(10_001)))
+    imp_idx = overlay.index_of(imp_id)
+    sim, worm, vuln_total = make_worm(overlay, imp_idx)
+    harvester = FastVerDiHarvester(
+        sim, worm, overlay, imp_idx, NodeType.A, random.Random(1),
+        rate_per_s=10.0, replicas_per_lookup=1, vulnerable_total=vuln_total,
+    )
+    harvester.start()
+    sim.run(until=30.0)
+    harvester.stop()
+    # The harvester stops once everything vulnerable is infected, so
+    # the exact count depends on coverage speed; it must have run and
+    # the worm must have escaped the impersonator's own fingers.
+    assert harvester.harvest_events > 20
+    assert worm.infected_count > 50
+
+
+def test_fast_harvester_stops_when_everything_infected():
+    imp_id = LAYOUT.random_id(random.Random(13), NodeType.B)
+    overlay = verme_overlay(n=60, extra=NodeInfo(imp_id, NodeAddress(10_002)))
+    imp_idx = overlay.index_of(imp_id)
+    sim, worm, vuln_total = make_worm(overlay, imp_idx)
+    harvester = FastVerDiHarvester(
+        sim, worm, overlay, imp_idx, NodeType.A, random.Random(2),
+        rate_per_s=50.0, replicas_per_lookup=3, vulnerable_total=vuln_total,
+    )
+    harvester.start()
+    sim.run(until=600.0)
+    events_at_completion = harvester.harvest_events
+    sim.run(until=1200.0)
+    assert harvester.harvest_events == events_at_completion
+    assert worm.infected_count >= vuln_total
+
+
+def test_harvester_positions_always_victim_type():
+    imp_id = LAYOUT.random_id(random.Random(17), NodeType.B)
+    overlay = verme_overlay(extra=NodeInfo(imp_id, NodeAddress(10_003)))
+    imp_idx = overlay.index_of(imp_id)
+    sim, worm, vuln_total = make_worm(overlay, imp_idx)
+    h = FastVerDiHarvester(
+        sim, worm, overlay, imp_idx, NodeType.A, random.Random(3),
+        rate_per_s=1.0, replicas_per_lookup=2, vulnerable_total=vuln_total,
+    )
+    for _ in range(200):
+        assert LAYOUT.type_of(h._victim_position()) == int(NodeType.A)
+
+
+def test_compromise_expected_rate():
+    assert CompromiseVerDiHarvester.expected_rate(1.0, 50_000, 50_000) == pytest.approx(1.0)
+    assert CompromiseVerDiHarvester.expected_rate(2.0, 100, 400) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        CompromiseVerDiHarvester.expected_rate(1.0, 10, 0)
+
+
+def test_compromise_harvester_uses_initiator_pool():
+    imp_id = LAYOUT.random_id(random.Random(19), NodeType.B)
+    overlay = verme_overlay(extra=NodeInfo(imp_id, NodeAddress(10_004)))
+    imp_idx = overlay.index_of(imp_id)
+    sim, worm, vuln_total = make_worm(overlay, imp_idx)
+    pool = [i for i in range(len(overlay)) if LAYOUT.type_of(overlay.ids[i]) == 0][:5]
+    h = CompromiseVerDiHarvester(
+        sim, worm, overlay, imp_idx, NodeType.A, random.Random(4),
+        rate_per_s=5.0, replicas_per_lookup=1, vulnerable_total=vuln_total,
+        initiator_pool=pool,
+    )
+    extras = {h._extra_targets()[0] for _ in range(100)}
+    assert extras <= set(pool)
+
+
+def test_harvester_rejects_bad_rate():
+    imp_id = LAYOUT.random_id(random.Random(23), NodeType.B)
+    overlay = verme_overlay(n=40, extra=NodeInfo(imp_id, NodeAddress(10_005)))
+    imp_idx = overlay.index_of(imp_id)
+    sim, worm, vuln_total = make_worm(overlay, imp_idx)
+    with pytest.raises(ValueError):
+        FastVerDiHarvester(
+            sim, worm, overlay, imp_idx, NodeType.A, random.Random(5),
+            rate_per_s=0.0, replicas_per_lookup=1, vulnerable_total=vuln_total,
+        )

@@ -1,0 +1,62 @@
+"""Unit tests for the worm model primitives."""
+
+import pytest
+
+from repro.worm import InfectionCurve, WormParams, WormState
+
+
+def test_default_parameters_match_paper():
+    p = WormParams()
+    assert p.scan_rate_per_s == 100.0
+    assert p.infect_time_s == 0.1
+    assert p.activation_delay_s == 1.0
+    assert p.scan_interval_s == pytest.approx(0.01)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        WormParams(scan_rate_per_s=0)
+    with pytest.raises(ValueError):
+        WormParams(infect_time_s=-1)
+
+
+def test_four_states_exist():
+    assert {s.value for s in WormState} == {
+        "not_infected", "scanning", "infecting", "inactive",
+    }
+
+
+def test_curve_records_and_reports():
+    c = InfectionCurve()
+    c.record(1.0, 1)
+    c.record(2.0, 5)
+    c.record(4.0, 10)
+    assert c.final_count == 10
+    assert c.final_time == 4.0
+    assert c.count_at(0.5) == 0
+    assert c.count_at(2.0) == 5
+    assert c.count_at(3.0) == 5
+    assert c.count_at(100.0) == 10
+
+
+def test_time_to_count():
+    c = InfectionCurve()
+    c.record(1.0, 1)
+    c.record(3.0, 7)
+    assert c.time_to_count(1) == 1.0
+    assert c.time_to_count(5) == 3.0
+    assert c.time_to_count(8) is None
+
+
+def test_time_to_fraction():
+    c = InfectionCurve()
+    c.record(2.0, 50)
+    assert c.time_to_fraction(100, 0.5) == 2.0
+    assert c.time_to_fraction(100, 0.51) is None
+
+
+def test_empty_curve():
+    c = InfectionCurve()
+    assert c.final_count == 0
+    assert c.final_time == 0.0
+    assert c.time_to_count(1) is None

@@ -1,0 +1,100 @@
+"""Property-based tests of the worm engine's invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+from repro.worm import WormParams, WormSimulation, WormState
+
+
+class GraphKnowledge:
+    def __init__(self, graph):
+        self.graph = graph
+
+    def targets_of(self, index):
+        return list(self.graph.get(index, []))
+
+
+@st.composite
+def random_worm_setup(draw):
+    n = draw(st.integers(min_value=2, max_value=30))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    graph = {
+        i: rng.sample(range(n), k=min(n, rng.randint(0, 5)))
+        for i in range(n)
+    }
+    vulnerable = [rng.random() < 0.7 for i in range(n)]
+    start = draw(st.integers(min_value=0, max_value=n - 1))
+    return n, graph, vulnerable, start
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_worm_setup())
+def test_curve_is_monotone_and_bounded(setup):
+    n, graph, vulnerable, start = setup
+    sim = Simulator()
+    worm = WormSimulation(sim, n, vulnerable, GraphKnowledge(graph))
+    worm.seed(start)
+    worm.run(until=10_000.0)
+    counts = [c for _t, c in worm.curve.points]
+    times = [t for t, _c in worm.curve.points]
+    assert counts == sorted(counts)
+    assert times == sorted(times)
+    assert counts[0] == 1  # the seed
+    # Upper bound: vulnerable nodes plus the (possibly invulnerable) seed.
+    assert worm.infected_count <= sum(vulnerable) + 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_worm_setup())
+def test_only_reachable_vulnerable_nodes_infected(setup):
+    n, graph, vulnerable, start = setup
+    sim = Simulator()
+    worm = WormSimulation(sim, n, vulnerable, GraphKnowledge(graph))
+    worm.seed(start)
+    worm.run(until=10_000.0)
+    # BFS over vulnerable-reachable set (the seed spreads regardless of
+    # its own vulnerability because the worm was implanted there).
+    reachable = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        for nxt in graph.get(node, []):
+            if nxt not in reachable and vulnerable[nxt]:
+                reachable.add(nxt)
+                frontier.append(nxt)
+    infected = {i for i in range(n) if worm.state[i] is not WormState.NOT_INFECTED}
+    assert infected == reachable
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_worm_setup(), st.integers(min_value=1, max_value=3))
+def test_simulation_quiesces(setup, _fuzz):
+    """With finite knowledge the event queue must drain: no livelock."""
+    n, graph, vulnerable, start = setup
+    sim = Simulator()
+    worm = WormSimulation(sim, n, vulnerable, GraphKnowledge(graph))
+    worm.seed(start)
+    worm.run()  # no time bound: must terminate on its own
+    assert sim.pending_events == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_worm_setup())
+def test_faster_scan_rate_never_slower(setup):
+    n, graph, vulnerable, start = setup
+    results = []
+    for rate in (10.0, 1000.0):
+        sim = Simulator()
+        worm = WormSimulation(
+            sim, n, vulnerable, GraphKnowledge(graph),
+            WormParams(scan_rate_per_s=rate),
+        )
+        worm.seed(start)
+        worm.run(until=100_000.0)
+        results.append(worm.curve.final_time)
+    slow_finish, fast_finish = results
+    assert fast_finish <= slow_finish + 1e-6

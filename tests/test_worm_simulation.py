@@ -1,0 +1,140 @@
+"""Tests for the worm propagation engine on hand-built graphs."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.worm import WormParams, WormSimulation, WormState
+from repro.worm.simulation import WormSimulation as WS
+
+
+class FixedKnowledge:
+    """A hand-written knowledge graph for precise assertions."""
+
+    def __init__(self, graph):
+        self.graph = graph
+
+    def targets_of(self, index):
+        return list(self.graph.get(index, []))
+
+
+def run_worm(graph, vulnerable, seed=0, params=None, until=1000.0):
+    sim = Simulator()
+    worm = WormSimulation(
+        sim,
+        num_nodes=len(vulnerable),
+        vulnerable=vulnerable,
+        knowledge=FixedKnowledge(graph),
+        params=params or WormParams(),
+    )
+    worm.seed(seed)
+    worm.run(until=until)
+    return worm
+
+
+def test_chain_infection_timing():
+    """0 -> 1 -> 2, with the paper's semantics: the seed scans
+    immediately (10 ms) and infects (100 ms); the *target* then waits
+    the 1 s activation delay before scanning onward."""
+    worm = run_worm({0: [1], 1: [2], 2: []}, [True] * 3)
+    assert worm.infected_count == 3
+    times = dict((count, t) for t, count in worm.curve.points)
+    assert times[1] == pytest.approx(0.0)
+    # Node 1: scan 0.01 + infect 0.1.
+    assert times[2] == pytest.approx(0.11)
+    # Node 2: node 1 activates at 0.11 + 1.0, then scan + infect.
+    assert times[3] == pytest.approx(0.11 + 1.0 + 0.11)
+
+
+def test_invulnerable_nodes_never_infected():
+    worm = run_worm({0: [1, 2], 1: [], 2: []}, [True, False, True])
+    assert worm.infected_count == 2
+    assert worm.state[1] is WormState.NOT_INFECTED
+
+
+def test_scan_of_invulnerable_costs_a_slot():
+    """Probing a non-vulnerable target takes a scan interval."""
+    worm = run_worm({0: [1, 2], 1: [], 2: []}, [True, False, True])
+    times = dict((count, t) for t, count in worm.curve.points)
+    # Two scans (miss on 1, hit on 2) plus the infection time.
+    assert times[2] == pytest.approx(0.02 + 0.1)
+
+
+def test_already_infected_target_skipped():
+    worm = run_worm({0: [1], 1: [0, 2], 2: []}, [True] * 3)
+    assert worm.infected_count == 3
+    # No double counting.
+    counts = [c for _t, c in worm.curve.points]
+    assert counts == sorted(set(counts))
+
+
+def test_disconnected_component_survives():
+    worm = run_worm({0: [1], 1: [], 5: [6], 6: []}, [True] * 7)
+    assert worm.infected_count == 2
+    assert worm.state[5] is WormState.NOT_INFECTED
+
+
+def test_fanout_infections_serialized_by_attacker():
+    """One attacker infects many targets one at a time."""
+    n = 11
+    worm = run_worm({0: list(range(1, n))}, [True] * n)
+    assert worm.infected_count == n
+    times = [t for t, _c in worm.curve.points]
+    assert times == sorted(times)
+    # Each infection costs the attacker infect_time + a scan interval.
+    assert times[-1] >= (n - 1) * 0.11 - 1e-9
+
+
+def test_add_targets_wakes_idle_scanner():
+    sim = Simulator()
+    worm = WormSimulation(
+        sim, 3, [True] * 3, FixedKnowledge({0: [], 1: [], 2: []})
+    )
+    worm.seed(0)
+    sim.run(until=10)
+    assert worm.infected_count == 1  # nothing to scan: idle
+    worm.add_targets(0, [1])
+    sim.run(until=20)
+    assert worm.infected_count == 2
+    worm.add_targets(0, [1])  # duplicate: ignored
+    worm.add_targets(0, [2])
+    sim.run(until=30)
+    assert worm.infected_count == 3
+
+
+def test_add_targets_to_uninfected_node_ignored():
+    sim = Simulator()
+    worm = WormSimulation(sim, 2, [True] * 2, FixedKnowledge({}))
+    worm.add_targets(0, [1])
+    sim.run(until=10)
+    assert worm.infected_count == 0
+
+
+def test_self_targets_ignored():
+    worm = run_worm({0: [0, 1], 1: []}, [True, True])
+    assert worm.infected_count == 2
+
+
+def test_seed_idempotent():
+    sim = Simulator()
+    worm = WormSimulation(sim, 2, [True] * 2, FixedKnowledge({0: [1]}))
+    worm.seed(0)
+    worm.seed(0)
+    sim.run(until=10)
+    assert worm.infected_count == 2
+
+
+def test_vulnerable_mask_length_checked():
+    with pytest.raises(ValueError):
+        WormSimulation(Simulator(), 3, [True], FixedKnowledge({}))
+
+
+def test_concurrent_attackers_single_infection():
+    """Two attackers racing for one target: exactly one infection."""
+    worm = run_worm({0: [1, 2], 1: [2], 2: []}, [True] * 3)
+    assert worm.infected_count == 3
+    assert worm.infections_completed == 2  # 1 and 2, each once
+
+
+def test_scans_counted():
+    worm = run_worm({0: [1, 2, 3], 1: [], 2: [], 3: []}, [True, False, False, True])
+    assert worm.scans_performed == 3
