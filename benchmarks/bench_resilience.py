@@ -1,0 +1,70 @@
+"""Resilience: lookup availability across a partition-and-heal scenario.
+
+Chord (recursive) and Verme each run a lookup workload while a fifth of
+the hosts is partitioned away and later healed.  Expected shape: lookup
+success dips at the partition onset and recovers after the heal; ring
+coherence dips during the partition; both systems reach the repair bar,
+with Verme's deeper predecessor lists re-knitting the ring faster.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.experiments import ResilienceConfig, run_resilience_cell
+from repro.experiments.resilience import SYSTEMS
+
+BENCH_CFG = ResilienceConfig()
+
+_rows = []
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_resilience_cell(benchmark, system, paper_scale):
+    cfg = BENCH_CFG.paper_scale() if paper_scale else BENCH_CFG
+    row = benchmark.pedantic(
+        run_resilience_cell, args=(cfg, system), rounds=1, iterations=1
+    )
+    assert row.lookups > 100
+    # Degrade-then-recover: the partition window is strictly worse than
+    # the healthy windows around it.
+    assert row.partition_success_rate < row.pre_success_rate
+    assert row.post_success_rate > row.partition_success_rate
+    assert row.post_success_rate > 0.95
+    # The successor ring visibly tears and the detector sees it.
+    assert row.min_ring_coherence < 0.9
+    assert row.repair_time_s is not None
+    assert row.rpc_timeouts > 0
+    assert row.rpc_retransmits > 0
+    assert row.partition_drops > 0
+    _rows.append(row)
+
+
+def test_resilience_report_and_shape(benchmark):
+    benchmark.pedantic(_report, rounds=1, iterations=1)
+
+
+def _report():
+    assert _rows, "cells must run first"
+    table = format_table(
+        ["system", "pre_ok", "part_ok", "post_ok", "min_coh", "repair_s",
+         "timeouts", "retransmits", "part_drops", "mean_recovery_s"],
+        [
+            [r.system, round(r.pre_success_rate, 3),
+             round(r.partition_success_rate, 3),
+             round(r.post_success_rate, 3),
+             round(r.min_ring_coherence, 3),
+             None if r.repair_time_s is None else round(r.repair_time_s, 1),
+             r.rpc_timeouts, r.rpc_retransmits, r.partition_drops,
+             round(r.mean_recovery_s, 2)]
+            for r in _rows
+        ],
+    )
+    print("\n=== Resilience: partition-and-heal (expected: dip during "
+          "partition, recovery after heal; Verme repairs faster) ===")
+    print(table)
+    by_system = {r.system: r for r in _rows}
+    chord, verme = by_system["chord"], by_system["verme"]
+    assert not math.isnan(chord.min_ring_coherence)
+    assert verme.repair_time_s <= chord.repair_time_s

@@ -9,7 +9,6 @@ mean lifetime), plus a scripted burst-failure trace, and reports lookup
 latency and failure rate for each regime.
 """
 
-import random
 
 from repro.analysis import LookupStats
 from repro.analysis.tables import format_table

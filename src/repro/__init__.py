@@ -19,6 +19,15 @@ from .chord import (
     instant_bootstrap,
 )
 from .crypto import CertificateAuthority, KeyPair, NodeCertificate
+from .faults import (
+    FailureDetectorStats,
+    FaultPlan,
+    GrayFailure,
+    LinkFault,
+    Outage,
+    OutageScript,
+    Partition,
+)
 from .dht import (
     CompromiseVerDiNode,
     DHashNode,
@@ -50,9 +59,13 @@ __all__ = [
     "CompromiseVerDiNode",
     "DHashNode",
     "DhtConfig",
+    "FailureDetectorStats",
     "FastVerDiNode",
+    "FaultPlan",
+    "GrayFailure",
     "IdSpace",
     "KeyPair",
+    "LinkFault",
     "LookupPurpose",
     "LookupResult",
     "LookupStyle",
@@ -63,7 +76,10 @@ __all__ = [
     "NodeInfo",
     "NodeType",
     "OpResult",
+    "Outage",
+    "OutageScript",
     "OverlayConfig",
+    "Partition",
     "Population",
     "RngRegistry",
     "SecureVerDiNode",

@@ -26,9 +26,22 @@ class OverlayConfig:
     lookup_retries: int = 3
     max_lookup_hops: int = 100
     pending_route_gc_s: float = 30.0
+    # RPC retransmission (opt-in; 0 keeps the paper's single-shot
+    # timeout).  Each retransmit multiplies the previous per-attempt
+    # timeout by the backoff factor, +/- a deterministic jitter
+    # fraction drawn from the node's jitter stream.
+    rpc_max_retransmits: int = 0
+    rpc_backoff_factor: float = 2.0
+    rpc_backoff_jitter: float = 0.1
 
     def __post_init__(self) -> None:
         if self.num_successors < 1:
             raise ValueError("need at least one successor")
         if self.rpc_timeout_s <= 0 or self.lookup_timeout_s <= 0:
             raise ValueError("timeouts must be positive")
+        if self.rpc_max_retransmits < 0:
+            raise ValueError("rpc_max_retransmits must be non-negative")
+        if self.rpc_backoff_factor < 1.0:
+            raise ValueError("rpc_backoff_factor must be >= 1")
+        if not 0.0 <= self.rpc_backoff_jitter < 1.0:
+            raise ValueError("rpc_backoff_jitter must be in [0, 1)")

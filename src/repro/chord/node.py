@@ -94,7 +94,16 @@ class ChordNode:
         self.config = config
         self.node_id = node_id
         self.address = address
-        self.rpc = RpcLayer(sim, network, address, config.rpc_timeout_s)
+        self.rpc = RpcLayer(
+            sim,
+            network,
+            address,
+            config.rpc_timeout_s,
+            max_retransmits=config.rpc_max_retransmits,
+            backoff_factor=config.rpc_backoff_factor,
+            backoff_jitter=config.rpc_backoff_jitter,
+            jitter_rng=jitter_rng,
+        )
         self.space: IdSpace = config.space
         self.successors = NeighborList(
             self.space, node_id, config.num_successors, clockwise=True
@@ -113,6 +122,11 @@ class ChordNode:
         )
         self._lookups: Dict[tuple, _PendingLookup] = {}
         self._forwards: Dict[tuple, _ForwardState] = {}
+        # Bootstrap cache: recent successor addresses plus the join
+        # bootstrap.  Never purged by the failure detector, so a node
+        # stranded by a long partition can still re-enter the ring.
+        self._rejoin_contacts: List[NodeAddress] = []
+        self._rejoin_next = 0
         self._token_counter = itertools.count()
         self.dht_lookup_hook: Optional[ResponsibleHook] = None
         self.lookups_started = 0
@@ -157,6 +171,7 @@ class ChordNode:
         joins are initiated by looking up the incoming node's own id)."""
         self.rpc.start()
         self._alive = True
+        self._rejoin_contacts = [bootstrap]
         self.lookup(
             self.node_id,
             on_done=lambda res: self._join_done(res, on_done),
@@ -252,7 +267,27 @@ class ChordNode:
             pred = self.predecessor
             if pred is not None:
                 self.successors.merge([pred])
+                return
+            # Fully stranded: every successor and predecessor was purged
+            # (a long partition can do this).  Re-enter the ring by
+            # re-running the join lookup for our own id through a
+            # surviving finger, or — once those are purged too — through
+            # the bootstrap cache, which failed attempts never empty.
+            contacts = [e.address for e in self.fingers.entries()]
+            contacts += [a for a in self._rejoin_contacts if a not in contacts]
+            if contacts:
+                hop = contacts[self._rejoin_next % len(contacts)]
+                self._rejoin_next += 1
+                self.lookup(
+                    self.node_id,
+                    on_done=self._rejoin_done,
+                    style=self.maintenance_style,
+                    purpose=LookupPurpose.JOIN,
+                    category="maintenance",
+                    first_hop=hop,
+                )
             return
+        self._rejoin_contacts = [e.address for e in self.successors.entries]
         self.rpc.call(
             succ.address,
             "get_neighbors",
@@ -270,6 +305,14 @@ class ChordNode:
                 on_reply=lambda res: self._predecessor_reply(pred, res),
                 on_error=lambda err: self._neighbor_dead(pred),
                 category="maintenance",
+            )
+
+    def _rejoin_done(self, result: LookupResult) -> None:
+        if not self._alive or self.successors.first is not None:
+            return
+        if result.success and result.entries:
+            self.successors.merge(
+                [e for e in result.entries if e.node_id != self.node_id]
             )
 
     def _stabilize_reply(self, succ: NodeInfo, res: dict) -> None:

@@ -12,14 +12,27 @@ Protocol nodes speak three patterns:
 
 Handlers are registered by method name and receive ``(params, ctx)``;
 they answer via ``ctx.respond(...)`` / ``ctx.fail(...)``.
+
+Calls may opt into *retransmission with exponential backoff*
+(``max_retransmits`` > 0): when a per-attempt timer expires with
+retransmits left, the identical request (same ``req_id``) is resent and
+the next timer is the previous one times ``backoff_factor``, +/- a
+deterministic jitter drawn from the layer's jitter stream.  Duplicate
+replies are ignored by the request-id match; receivers must tolerate
+duplicate *requests* (protocol handlers are idempotent; recursive
+forwarding dedups on the lookup token).  What the detector observed —
+calls, retransmits, final timeouts, suspected peers and their recovery
+times — accumulates in ``RpcLayer.detector``.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
+from ..faults.detector import FailureDetectorStats
 from ..net.addressing import NodeAddress
 from ..net.message import HEADER_BYTES, RPC_META_BYTES, Message
 from ..net.network import Network
@@ -90,6 +103,13 @@ class _Pending:
     on_reply: Optional[ReplyCallback]
     on_error: Optional[ErrorCallback]
     timer: EventHandle
+    dst: NodeAddress
+    request: "_Request"
+    size: int
+    category: str
+    op_tag: Optional[int]
+    timeout_s: float
+    attempt: int = 0
 
 
 class RpcLayer:
@@ -101,11 +121,20 @@ class RpcLayer:
         network: Network,
         address: NodeAddress,
         default_timeout_s: float,
+        max_retransmits: int = 0,
+        backoff_factor: float = 2.0,
+        backoff_jitter: float = 0.0,
+        jitter_rng: Optional[random.Random] = None,
     ) -> None:
         self.sim = sim
         self.network = network
         self.address = address
         self.default_timeout_s = default_timeout_s
+        self.max_retransmits = max_retransmits
+        self.backoff_factor = backoff_factor
+        self.backoff_jitter = backoff_jitter
+        self._jitter_rng = jitter_rng
+        self.detector = FailureDetectorStats()
         self._handlers: Dict[str, Callable[[dict, RpcContext], None]] = {}
         self._pending: Dict[int, _Pending] = {}
         self._req_ids = itertools.count()
@@ -119,15 +148,28 @@ class RpcLayer:
         self.network.register(self.address, self._on_message)
         self._alive = True
 
-    def shutdown(self) -> None:
-        """Leave the network; pending calls will simply time out remotely."""
+    def shutdown(self, notify_local_errors: bool = False) -> None:
+        """Leave the network.
+
+        By default pending calls die silently (fail-stop fidelity: a
+        crashed node must not observe anything).  With
+        ``notify_local_errors=True`` each pending call's ``on_error``
+        fires synchronously with ``"shutdown"`` so higher layers can
+        distinguish a local shutdown from a remote timeout; callbacks
+        run after the layer is marked dead.
+        """
         if not self._alive:
             return
         self.network.unregister(self.address)
         self._alive = False
-        for pending in self._pending.values():
-            pending.timer.cancel()
+        cancelled = list(self._pending.values())
         self._pending.clear()
+        for pending in cancelled:
+            pending.timer.cancel()
+        if notify_local_errors:
+            for pending in cancelled:
+                if pending.on_error is not None:
+                    pending.on_error("shutdown")
 
     @property
     def alive(self) -> bool:
@@ -158,8 +200,19 @@ class RpcLayer:
         req_id = next(self._req_ids)
         timeout = timeout_s if timeout_s is not None else self.default_timeout_s
         timer = self.sim.schedule(timeout, self._on_timeout, req_id)
-        self._pending[req_id] = _Pending(on_reply, on_error, timer)
         request = _Request(req_id, method, params, self.address)
+        self._pending[req_id] = _Pending(
+            on_reply,
+            on_error,
+            timer,
+            dst=dst,
+            request=request,
+            size=size,
+            category=category,
+            op_tag=op_tag,
+            timeout_s=timeout,
+        )
+        self.detector.record_call()
         self.network.send(
             self.address, dst, request, size, category=category, op_tag=op_tag
         )
@@ -201,15 +254,44 @@ class RpcLayer:
         elif isinstance(payload, _Reply):
             pending = self._pending.pop(payload.req_id, None)
             if pending is None:
-                return  # late reply after timeout: ignore
+                return  # late or duplicate reply: ignore
             pending.timer.cancel()
+            self.detector.record_reply(pending.dst, self.sim.now)
             if payload.ok:
                 if pending.on_reply is not None:
                     pending.on_reply(payload.result)
             elif pending.on_error is not None:
                 pending.on_error(str(payload.result))
 
+    def _next_timeout(self, pending: _Pending) -> float:
+        timeout = pending.timeout_s * (self.backoff_factor**pending.attempt)
+        if self.backoff_jitter and self._jitter_rng is not None:
+            timeout *= 1.0 + self.backoff_jitter * (
+                2.0 * self._jitter_rng.random() - 1.0
+            )
+        return timeout
+
     def _on_timeout(self, req_id: int) -> None:
-        pending = self._pending.pop(req_id, None)
-        if pending is not None and pending.on_error is not None:
+        pending = self._pending.get(req_id)
+        if pending is None:
+            return
+        if pending.attempt < self.max_retransmits:
+            # Retransmit the identical request and back off.
+            pending.attempt += 1
+            self.detector.record_retransmit(pending.dst)
+            pending.timer = self.sim.schedule(
+                self._next_timeout(pending), self._on_timeout, req_id
+            )
+            self.network.send(
+                self.address,
+                pending.dst,
+                pending.request,
+                pending.size,
+                category=pending.category,
+                op_tag=pending.op_tag,
+            )
+            return
+        del self._pending[req_id]
+        self.detector.record_timeout(pending.dst, self.sim.now)
+        if pending.on_error is not None:
             pending.on_error("timeout")

@@ -25,7 +25,13 @@ from .fig8_worm_propagation import (
     run_fig8,
     run_fig8_scenario,
 )
-from .records import DhtOpRow, Fig5Row, Fig8Row
+from .records import DhtOpRow, Fig5Row, Fig8Row, ResilienceRow
+from .resilience import SYSTEMS as RESILIENCE_SYSTEMS
+from .resilience import (
+    ResilienceConfig,
+    run_resilience,
+    run_resilience_cell,
+)
 
 __all__ = [
     "BuiltRing",
@@ -40,6 +46,9 @@ __all__ = [
     "Fig5Row",
     "Fig8Config",
     "Fig8Row",
+    "RESILIENCE_SYSTEMS",
+    "ResilienceConfig",
+    "ResilienceRow",
     "VermeNodeFactory",
     "averaged_curve_series",
     "build_ring",
@@ -57,4 +66,6 @@ __all__ = [
     "run_multitype_containment",
     "run_naive_finger_ablation",
     "run_replication_availability",
+    "run_resilience",
+    "run_resilience_cell",
 ]

@@ -7,7 +7,6 @@ rejoin replacements through the real protocol.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import List, Optional, Set
 

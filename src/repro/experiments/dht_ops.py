@@ -15,7 +15,6 @@ transfer per hop, and Fast/Compromise puts add one cross-type copy.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Sequence, Tuple, Type
 

@@ -39,6 +39,24 @@ class DhtOpRow:
 
 
 @dataclass(frozen=True)
+class ResilienceRow:
+    """One system's behaviour across a partition-and-heal scenario."""
+
+    system: str                      # chord / verme
+    pre_success_rate: float          # lookups before the partition
+    partition_success_rate: float    # lookups during the partition
+    post_success_rate: float         # lookups after the heal
+    min_ring_coherence: float        # worst successor-ring integrity seen
+    repair_time_s: Optional[float]   # heal -> ring coherence recovered
+    lookups: int
+    rpc_timeouts: int                # failure-detector timeouts, all nodes
+    rpc_retransmits: int             # backoff retransmissions, all nodes
+    max_suspected_peers: int         # most peers one node suspects at the end
+    partition_drops: int             # messages the partition severed
+    mean_recovery_s: float           # mean detector suspicion duration
+
+
+@dataclass(frozen=True)
 class Fig8Row:
     """One curve of Fig. 8, summarised."""
 

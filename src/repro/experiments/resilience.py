@@ -1,0 +1,264 @@
+"""Resilience experiment: lookup availability across a partition.
+
+The paper argues about behaviour under adversity but only measures
+churn; this driver measures what the fault layer unlocks.  A ring
+(Chord recursive or Verme) runs a Poisson lookup workload while a
+scripted :class:`~repro.faults.Partition` severs a minority of hosts
+from the rest between ``partition_start_s`` and ``partition_heal_s``.
+Reported per system:
+
+* lookup success rate before / during / after the partition (the
+  degradation concentrates at the onset: once each side has purged the
+  other, lookups "succeed" against the degenerate sub-ring);
+* **ring coherence** — the fraction of nodes whose first successor is
+  the true ring neighbour, sampled every ``bucket_s`` — and the
+  **ring-repair time**: how long after the heal until coherence is
+  back to ``recovered_fraction`` of its pre-partition level (the
+  partition is kept shorter than ``num_successors`` stabilization
+  rounds, so surviving cross-group successor entries let the rings
+  re-knit — Chord cannot merge two fully disjoint rings without a
+  bootstrap);
+* failure-detector aggregates (timeouts, retransmissions, peak
+  suspected peers, mean suspicion duration) and the partition's
+  cause-tagged drop count from the network.
+
+Everything is deterministic from ``ResilienceConfig.seed``: the fault
+plan, workload, ids and jitter all draw from derived streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from ..chord.config import OverlayConfig
+from ..chord.lookup import LookupStyle
+from ..chord.ring import LookupWorkload
+from ..faults import FaultPlan, Partition
+from ..ids.idspace import IdSpace
+from ..ids.sections import VermeIdLayout
+from ..net.latency import ConstantLatency
+from ..net.network import Network
+from ..sim import RngRegistry, Simulator
+from ..sim.rng import derive_seed
+from .builders import build_ring
+from .records import ResilienceRow
+
+SYSTEMS = ("chord", "verme")
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Scaled for seconds of wall time; ``paper_scale()`` grows it."""
+
+    num_nodes: int = 64
+    num_sections: int = 8
+    id_bits: int = 64
+    num_successors: int = 8
+    num_predecessors: int = 8
+    stabilize_interval_s: float = 30.0
+    finger_interval_s: float = 60.0
+    one_way_latency_s: float = 0.05
+    mean_lookup_interval_s: float = 10.0
+    # Partition a fifth of the hosts for ~3 stabilization rounds.
+    partition_fraction: float = 0.2
+    partition_start_s: float = 240.0
+    partition_heal_s: float = 330.0
+    duration_s: float = 900.0
+    warmup_s: float = 60.0
+    bucket_s: float = 30.0
+    recovered_fraction: float = 0.95
+    rpc_max_retransmits: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.partition_fraction < 1.0:
+            raise ValueError("partition_fraction must be in (0, 1)")
+        if not (
+            self.warmup_s
+            < self.partition_start_s
+            < self.partition_heal_s
+            < self.duration_s
+        ):
+            raise ValueError(
+                "need warmup < partition start < heal < duration"
+            )
+
+    def paper_scale(self) -> "ResilienceConfig":
+        return replace(
+            self,
+            num_nodes=1740,
+            num_sections=128,
+            id_bits=160,
+            num_successors=10,
+            num_predecessors=10,
+            partition_start_s=1200.0,
+            partition_heal_s=1440.0,
+            duration_s=3600.0,
+        )
+
+    def overlay_config(self) -> OverlayConfig:
+        return OverlayConfig(
+            space=IdSpace(self.id_bits),
+            num_successors=self.num_successors,
+            num_predecessors=self.num_predecessors,
+            stabilize_interval_s=self.stabilize_interval_s,
+            finger_interval_s=self.finger_interval_s,
+            rpc_max_retransmits=self.rpc_max_retransmits,
+        )
+
+    def minority_hosts(self) -> range:
+        return range(int(self.num_nodes * self.partition_fraction))
+
+    def fault_plan(self, seed: int) -> FaultPlan:
+        minority = frozenset(self.minority_hosts())
+        majority = frozenset(range(self.num_nodes)) - minority
+        plan = FaultPlan(seed)
+        plan.add_partition(
+            Partition(
+                (minority, majority),
+                self.partition_start_s,
+                self.partition_heal_s,
+            )
+        )
+        return plan
+
+
+def _success_rate(
+    samples: Sequence[Tuple[float, bool]], start: float, end: float
+) -> Tuple[float, int]:
+    window = [ok for t, ok in samples if start <= t < end]
+    if not window:
+        return float("nan"), 0
+    return sum(window) / len(window), len(window)
+
+
+def _ring_coherence(population) -> float:
+    """Fraction of alive nodes whose first successor is the true ring
+    neighbour (the invariant Zave's Chord analysis centres on)."""
+    nodes = sorted(population.nodes, key=lambda n: n.node_id)
+    if len(nodes) < 2:
+        return 1.0
+    ok = 0
+    for i, node in enumerate(nodes):
+        expected = nodes[(i + 1) % len(nodes)]
+        succ = node.successors.first
+        if succ is not None and succ.node_id == expected.node_id:
+            ok += 1
+    return ok / len(nodes)
+
+
+def _mean_in_window(
+    series: Sequence[Tuple[float, float]], start: float, end: float
+) -> float:
+    window = [v for t, v in series if start <= t < end]
+    return sum(window) / len(window) if window else float("nan")
+
+
+def _repair_time(
+    coherence: Sequence[Tuple[float, float]],
+    config: ResilienceConfig,
+    pre_level: float,
+) -> Optional[float]:
+    """First post-heal coherence sample back at the recovery bar."""
+    target = config.recovered_fraction * pre_level
+    for t, value in coherence:
+        if t >= config.partition_heal_s and value >= target:
+            return t - config.partition_heal_s
+    return None
+
+
+def run_resilience_cell(
+    config: ResilienceConfig, system: str, run_index: int = 0
+) -> ResilienceRow:
+    """One system through the partition-and-heal scenario."""
+    if system not in SYSTEMS:
+        raise ValueError(f"unknown system {system!r}")
+    rngs = RngRegistry(
+        derive_seed(config.seed, f"resilience:{system}:{run_index}")
+    )
+    sim = Simulator()
+    plan = config.fault_plan(derive_seed(rngs.root_seed, "faults"))
+    network = Network(
+        sim,
+        ConstantLatency(
+            num_hosts=config.num_nodes, one_way=config.one_way_latency_s
+        ),
+        fault_plan=plan,
+    )
+    overlay_cfg = config.overlay_config()
+    layout = None
+    if system == "verme":
+        layout = VermeIdLayout.for_sections(
+            overlay_cfg.space, config.num_sections
+        )
+    ring = build_ring(
+        sim, network, overlay_cfg, config.num_nodes, rngs, layout
+    )
+
+    samples: List[Tuple[float, bool]] = []
+    workload = LookupWorkload(
+        sim,
+        ring.population,
+        rngs.stream("workload"),
+        style=LookupStyle.RECURSIVE,
+        mean_interval_s=config.mean_lookup_interval_s,
+        warmup_s=config.warmup_s,
+        on_result=lambda res: samples.append((sim.now, res.success)),
+    )
+    workload.start()
+
+    coherence: List[Tuple[float, float]] = []
+
+    def probe() -> None:
+        coherence.append((sim.now, _ring_coherence(ring.population)))
+        if sim.now + config.bucket_s <= config.duration_s:
+            sim.schedule(config.bucket_s, probe)
+
+    sim.schedule(config.bucket_s, probe)
+    sim.run(until=config.duration_s)
+
+    pre_rate, pre_n = _success_rate(
+        samples, config.warmup_s, config.partition_start_s
+    )
+    during_rate, during_n = _success_rate(
+        samples, config.partition_start_s, config.partition_heal_s
+    )
+    post_rate, post_n = _success_rate(
+        samples, config.partition_heal_s, config.duration_s
+    )
+    pre_coherence = _mean_in_window(
+        coherence, config.warmup_s, config.partition_start_s
+    )
+    min_coherence = min(
+        (
+            v
+            for t, v in coherence
+            if config.partition_start_s <= t < config.partition_heal_s
+        ),
+        default=float("nan"),
+    )
+    detectors = [node.rpc.detector for node in ring.population.nodes]
+    recoveries = [r for d in detectors for r in d.recovery_times_s]
+    return ResilienceRow(
+        system=system,
+        pre_success_rate=pre_rate,
+        partition_success_rate=during_rate,
+        post_success_rate=post_rate,
+        min_ring_coherence=min_coherence,
+        repair_time_s=_repair_time(coherence, config, pre_coherence),
+        lookups=pre_n + during_n + post_n,
+        rpc_timeouts=sum(d.timeouts for d in detectors),
+        rpc_retransmits=sum(d.retransmits for d in detectors),
+        max_suspected_peers=max(len(d.suspected) for d in detectors),
+        partition_drops=network.dropped("partition"),
+        mean_recovery_s=(
+            sum(recoveries) / len(recoveries) if recoveries else 0.0
+        ),
+    )
+
+
+def run_resilience(
+    config: ResilienceConfig, systems: Sequence[str] = SYSTEMS
+) -> List[ResilienceRow]:
+    return [run_resilience_cell(config, system) for system in systems]

@@ -6,6 +6,7 @@ Regenerate any paper figure (or the ablations) from the shell::
     python -m repro.experiments.runner fig6
     python -m repro.experiments.runner fig7
     python -m repro.experiments.runner fig8 [--runs 10]
+    python -m repro.experiments.runner resilience
     python -m repro.experiments.runner ablations
 
 Scaled-down parameters by default (seconds to minutes); ``--paper-scale``
@@ -31,6 +32,7 @@ from .ablations import (
 from .dht_ops import DhtExperimentConfig, run_dht_experiment
 from .fig5_lookup_latency import Fig5Config, run_fig5
 from .fig8_worm_propagation import Fig8Config, run_fig8
+from .resilience import ResilienceConfig, run_resilience
 
 
 def _fig5(args) -> None:
@@ -98,6 +100,24 @@ def _fig8(args) -> None:
     ))
 
 
+def _resilience(args) -> None:
+    cfg = ResilienceConfig()
+    if args.paper_scale:
+        cfg = cfg.paper_scale()
+    rows = run_resilience(cfg)
+    if args.csv:
+        print(f"wrote {write_rows_csv(Path(args.csv) / 'resilience.csv', rows)}")
+    print(format_table(
+        ["system", "pre_ok", "part_ok", "post_ok", "min_coh", "repair_s",
+         "lookups", "timeouts", "retransmits", "part_drops"],
+        [[r.system, round(r.pre_success_rate, 3),
+          round(r.partition_success_rate, 3), round(r.post_success_rate, 3),
+          round(r.min_ring_coherence, 3), _r(r.repair_time_s), r.lookups,
+          r.rpc_timeouts, r.rpc_retransmits, r.partition_drops]
+         for r in rows],
+    ))
+
+
 def _ablations(args) -> None:
     cfg = WormScenarioConfig(num_nodes=3000, num_sections=128, seed=9)
     nf = run_naive_finger_ablation(cfg, until=200.0)
@@ -128,7 +148,8 @@ def main(argv=None) -> int:
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
-        "figure", choices=["fig5", "fig6", "fig7", "fig8", "ablations"]
+        "figure",
+        choices=["fig5", "fig6", "fig7", "fig8", "resilience", "ablations"],
     )
     parser.add_argument("--paper-scale", action="store_true")
     parser.add_argument("--csv", metavar="DIR", default=None,
@@ -142,6 +163,8 @@ def main(argv=None) -> int:
         _fig67(args, args.figure)
     elif args.figure == "fig8":
         _fig8(args)
+    elif args.figure == "resilience":
+        _resilience(args)
     else:
         _ablations(args)
     print(f"\n[{args.figure} done in {time.time() - started:.1f}s]")

@@ -1,0 +1,112 @@
+"""Scheduled crash/restart scripts.
+
+:class:`OutageScript` crashes nodes at scripted times and restarts them
+(next incarnation, through the real join protocol) when the outage
+ends.  It operates on the same :class:`~repro.chord.ring.Population`
+and ``NodeFactory`` the churn machinery uses, so scripted outages
+compose freely with a running
+:class:`~repro.chord.ring.ChurnDriver` — a host already killed by churn
+simply has no node to crash when its outage starts, and a restarted
+node is churned like any other.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Outage:
+    """One scripted downtime window for a host.
+
+    An infinite ``duration_s`` is a permanent crash (no restart).
+    """
+
+    host_slot: int
+    start_s: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("outage duration must be positive")
+
+    @property
+    def restart_s(self) -> Optional[float]:
+        if math.isinf(self.duration_s):
+            return None
+        return self.start_s + self.duration_s
+
+
+class OutageScript:
+    """Replays :class:`Outage` windows against a live population."""
+
+    def __init__(
+        self,
+        sim,
+        population,
+        factory,
+        rng: random.Random,
+        outages: Sequence[Outage],
+        retry_delay_s: float = 2.0,
+    ) -> None:
+        self.sim = sim
+        self.population = population
+        self.factory = factory
+        self.rng = rng
+        self.outages = sorted(outages, key=lambda o: o.start_s)
+        self.retry_delay_s = retry_delay_s
+        self.crashes = 0
+        self.restarts = 0
+        self.failed_restarts = 0
+        self.skipped = 0
+
+    def start(self) -> None:
+        for outage in self.outages:
+            self.sim.schedule_at(outage.start_s, self._crash, outage)
+
+    def _node_on_host(self, host_slot: int):
+        for node in self.population.nodes:
+            if node.address.host_slot == host_slot:
+                return node
+        return None
+
+    def _crash(self, outage: Outage) -> None:
+        node = self._node_on_host(outage.host_slot)
+        if node is None or not node.alive:
+            self.skipped += 1  # churn got there first
+            return
+        self.population.remove(node)
+        node.crash()
+        self.crashes += 1
+        restart_at = outage.restart_s
+        if restart_at is not None:
+            self.sim.schedule_at(
+                restart_at,
+                self._restart,
+                outage.host_slot,
+                node.address.incarnation + 1,
+            )
+
+    def _restart(self, host_slot: int, incarnation: int) -> None:
+        bootstrap = self.population.pick(self.rng)
+        if bootstrap is None:
+            self.sim.schedule(self.retry_delay_s, self._restart, host_slot, incarnation)
+            return
+        node = self.factory.create(host_slot, incarnation)
+        node.join(
+            bootstrap.address,
+            on_done=lambda ok: self._restarted(node, host_slot, incarnation, ok),
+        )
+
+    def _restarted(self, node, host_slot: int, incarnation: int, ok: bool) -> None:
+        if ok:
+            self.restarts += 1
+            self.population.add(node)
+        else:
+            self.failed_restarts += 1
+            self.sim.schedule(
+                self.retry_delay_s, self._restart, host_slot, incarnation + 1
+            )

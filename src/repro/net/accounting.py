@@ -14,14 +14,16 @@ from typing import Dict, Optional
 
 
 class ByteAccounting:
-    """Running byte and message counters."""
+    """Running byte and message counters, plus cause-tagged drops."""
 
     def __init__(self) -> None:
         self.bytes_by_category: Dict[str, int] = defaultdict(int)
         self.messages_by_category: Dict[str, int] = defaultdict(int)
         self.bytes_by_op: Dict[int, int] = defaultdict(int)
+        self.dropped_by_cause: Dict[str, int] = defaultdict(int)
         self.total_bytes = 0
         self.total_messages = 0
+        self.total_dropped = 0
 
     def record(self, category: str, size: int, op_tag: Optional[int] = None) -> None:
         self.bytes_by_category[category] += size
@@ -31,15 +33,26 @@ class ByteAccounting:
         if op_tag is not None:
             self.bytes_by_op[op_tag] += size
 
+    def record_drop(self, cause: str) -> None:
+        """Count one undelivered message under its cause ("loss",
+        "dead-destination", or a fault-injection cause)."""
+        self.dropped_by_cause[cause] += 1
+        self.total_dropped += 1
+
     def bytes_for_op(self, op_tag: int) -> int:
         return self.bytes_by_op.get(op_tag, 0)
 
     def category_bytes(self, category: str) -> int:
         return self.bytes_by_category.get(category, 0)
 
+    def dropped(self, cause: str) -> int:
+        return self.dropped_by_cause.get(cause, 0)
+
     def reset(self) -> None:
         self.bytes_by_category.clear()
         self.messages_by_category.clear()
         self.bytes_by_op.clear()
+        self.dropped_by_cause.clear()
         self.total_bytes = 0
         self.total_messages = 0
+        self.total_dropped = 0

@@ -4,9 +4,19 @@
 bandwidth) model.  Sending is fire-and-forget: the message is delivered
 to the destination's handler after the propagation (plus serialisation)
 delay, silently dropped if the destination has left the overlay by
-then, or dropped up-front by the optional loss model.  Request/response
-matching, timeouts and retries live one layer up, in
-:mod:`repro.chord.rpc`.
+then, or dropped up-front by the optional loss model or by the fault
+plan (partitions, degraded links, gray failures — see
+:mod:`repro.faults`).  Request/response matching, timeouts and retries
+live one layer up, in :mod:`repro.chord.rpc`.
+
+Every undelivered message is counted under a *cause* tag so that loss
+tests and resilience experiments can tell uniform loss, messages to
+dead incarnations, and injected faults apart:
+
+* ``"loss"`` — the Bernoulli loss model;
+* ``"dead-destination"`` — no endpoint registered at delivery time;
+* fault causes (``"partition"``, ``"link-fault"``, ``"gray-failure"``)
+  — whatever the :class:`~repro.faults.FaultPlan` reports.
 """
 
 from __future__ import annotations
@@ -14,6 +24,7 @@ from __future__ import annotations
 import random
 from typing import Any, Callable, Dict, Optional
 
+from ..faults.plan import FaultPlan
 from ..sim import Simulator
 from .accounting import ByteAccounting
 from .addressing import NodeAddress
@@ -21,6 +32,10 @@ from .latency import BandwidthModel, LatencyModel, transfer_delay
 from .message import Message
 
 Handler = Callable[[Message], None]
+
+#: Cause tags for the network's own drop decisions.
+CAUSE_LOSS = "loss"
+CAUSE_DEAD = "dead-destination"
 
 
 class Network:
@@ -35,12 +50,14 @@ class Network:
         loss_rate: float = 0.0,
         loss_rng: Optional[random.Random] = None,
         contended_uplinks: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         """``contended_uplinks`` serialises a host's outgoing transfers
         on its uplink (back-to-back departures) instead of letting
         overlapping sends proceed independently — a higher-fidelity
         model for hosts pushing several bulk transfers at once.  It
-        requires a bandwidth model."""
+        requires a bandwidth model.  ``fault_plan`` is consulted per
+        message and may drop it or add latency."""
         if loss_rate and loss_rng is None:
             raise ValueError("a loss_rate needs a loss_rng for determinism")
         if contended_uplinks and bandwidth_model is None:
@@ -52,9 +69,10 @@ class Network:
         self.loss_rate = loss_rate
         self._loss_rng = loss_rng
         self.contended_uplinks = contended_uplinks
+        self.fault_plan = fault_plan
         self._uplink_free_at: Dict[int, float] = {}
         self._endpoints: Dict[NodeAddress, Handler] = {}
-        self.dropped_messages = 0
+        self.drops_by_cause: Dict[str, int] = {}
 
     # -- membership ----------------------------------------------------------
 
@@ -73,6 +91,27 @@ class Network:
 
     def is_registered(self, address: NodeAddress) -> bool:
         return address in self._endpoints
+
+    # -- drop bookkeeping ----------------------------------------------------
+
+    @property
+    def dropped_messages(self) -> int:
+        """Total undelivered messages, all causes."""
+        return sum(self.drops_by_cause.values())
+
+    @property
+    def fault_drops(self) -> int:
+        """Messages the fault plan killed (everything but loss/dead)."""
+        return self.dropped_messages - self.dropped(CAUSE_LOSS) - self.dropped(
+            CAUSE_DEAD
+        )
+
+    def dropped(self, cause: str) -> int:
+        return self.drops_by_cause.get(cause, 0)
+
+    def _drop(self, cause: str) -> None:
+        self.drops_by_cause[cause] = self.drops_by_cause.get(cause, 0) + 1
+        self.accounting.record_drop(cause)
 
     # -- delivery -------------------------------------------------------------
 
@@ -93,9 +132,20 @@ class Network:
         msg = Message(src, dst, payload, size, category, op_tag)
         self.accounting.record(category, msg.size, op_tag)
         if self.loss_rate and self._loss_rng.random() < self.loss_rate:
-            self.dropped_messages += 1
+            self._drop(CAUSE_LOSS)
             return
-        latency = self.latency_model.latency(src.host_slot, dst.host_slot)
+        extra_latency = 0.0
+        if self.fault_plan is not None:
+            verdict = self.fault_plan.verdict(
+                src.host_slot, dst.host_slot, self.sim.now
+            )
+            if not verdict.deliver:
+                self._drop(verdict.cause or "fault")
+                return
+            extra_latency = verdict.extra_latency_s
+        latency = (
+            self.latency_model.latency(src.host_slot, dst.host_slot) + extra_latency
+        )
         bandwidth = None
         if self.bandwidth_model is not None:
             bandwidth = self.bandwidth_model.bandwidth(src.host_slot, dst.host_slot)
@@ -114,6 +164,6 @@ class Network:
     def _deliver(self, msg: Message) -> None:
         handler = self._endpoints.get(msg.dst)
         if handler is None:
-            self.dropped_messages += 1
+            self._drop(CAUSE_DEAD)
             return
         handler(msg)

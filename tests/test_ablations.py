@@ -14,7 +14,7 @@ from repro.experiments.ablations import (
 )
 from repro.ids import IdSpace, VermeIdLayout
 from repro.net import NodeAddress
-from repro.overlay import NaiveFingerVermeOverlay, StaticOverlay, VermeStaticOverlay
+from repro.overlay import NaiveFingerVermeOverlay, StaticOverlay
 from repro.verme import (
     audit_node_state,
     audit_overlay,

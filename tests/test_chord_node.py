@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.chord import LookupPurpose, LookupStyle, OverlayConfig
+from repro.chord import LookupStyle, OverlayConfig
 from repro.chord.node import ChordNode
 from repro.ids import IdSpace
 from repro.net import ConstantLatency, Network, NodeAddress
@@ -142,7 +142,6 @@ def test_lookup_routes_around_dead_node():
     rng = random.Random(3)
     key = rng.getrandbits(32)
     owner_idx = ring.overlay.owner(key).index
-    owner = ring.overlay.at(owner_idx)
     # Kill the owner's predecessor — the natural last hop.
     pred = ring.overlay.at(owner_idx - 1)
     ring.node_for(pred.node_id).crash()
@@ -210,3 +209,61 @@ def test_disallowed_style_raises(chord_ring):
     with pytest.raises(ValueError):
         node.lookup(1, on_done=lambda r: None, style=LookupStyle.ITERATIVE)
     node.__class__ = ChordNode
+
+
+def test_crash_then_rejoin_next_incarnation_registers_cleanly():
+    """A crashed host's replacement must re-register on the network
+    without tripping the double-registration guard, and stale messages
+    to the dead incarnation must not reach it."""
+    ring = build_chord_ring(num_nodes=16, seed=53)
+    sim, net, cfg = ring.sim, ring.network, ring.config
+    victim = ring.nodes[4]
+    old_addr = victim.address
+    victim.crash()
+    assert not net.is_registered(old_addr)
+
+    replacement = ChordNode(
+        sim, net, cfg, 0xC0FFEE,
+        old_addr.next_incarnation(), random.Random(3),
+    )
+    outcome = []
+    replacement.join(ring.nodes[0].address, on_done=outcome.append)
+    sim.run(until=sim.now + 200.0)
+    assert outcome == [True]
+    assert replacement.alive
+    assert net.is_registered(replacement.address)
+    assert not net.is_registered(old_addr)
+
+    # A stale message addressed to the dead incarnation is dropped, not
+    # delivered to the replacement.
+    before = net.dropped("dead-destination")
+    net.send(ring.nodes[0].address, old_addr, "stale", size=64)
+    sim.run(until=sim.now + 1.0)
+    assert net.dropped("dead-destination") == before + 1
+
+
+def test_stranded_node_rejoins_through_bootstrap_cache():
+    """A node that lost every successor, predecessor and finger (a long
+    partition can do this) re-enters the ring via its bootstrap cache
+    instead of staying isolated forever."""
+    ring = build_chord_ring(num_nodes=16, seed=59)
+    sim = ring.sim
+    sim.run(until=100.0)  # a few stabilize rounds populate the cache
+    node = ring.nodes[0]
+    assert node._rejoin_contacts  # refreshed while healthy
+    node.successors.replace([])
+    node.predecessors.replace([])
+    for entry in node.fingers.entries():
+        node.fingers.remove_address(entry.address)
+    assert node.successors.first is None
+
+    sim.run(until=400.0)
+    others = sorted(
+        (n for n in ring.nodes if n is not node), key=lambda n: n.node_id
+    )
+    expected = next(
+        (n for n in others if n.node_id > node.node_id), others[0]
+    )
+    succ = node.successors.first
+    assert succ is not None
+    assert succ.node_id == expected.node_id

@@ -1,6 +1,5 @@
 """Integration: rings under churn keep working (Fig. 5's regime)."""
 
-import random
 
 import pytest
 
@@ -12,7 +11,6 @@ from repro.ids import IdSpace, VermeIdLayout
 from repro.net import ConstantLatency, Network
 from repro.sim import RngRegistry, Simulator
 
-from conftest import population_of
 
 
 def churn_setup(verme: bool, num_nodes=48, seed=5):

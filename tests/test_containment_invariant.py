@@ -8,7 +8,6 @@ scale, and as a hypothesis property over random populations.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -2,11 +2,9 @@
 
 import random
 
-import pytest
 
 from repro.dht import DhtConfig, DHashNode, block_key
 
-from conftest import build_chord_ring
 
 
 def attach_dhash(ring, num_replicas=4):

@@ -140,7 +140,6 @@ def test_get_fails_cleanly_below_threshold():
 
 def test_fragmented_get_uses_less_bandwidth_than_replicated():
     """The point of the optimization: ~len/k per fetched fragment."""
-    from repro.dht import DHashNode
 
     ring = build_chord_ring(num_nodes=48, seed=211, num_successors=8)
     frag_layers = attach(ring, total=6, required=3)

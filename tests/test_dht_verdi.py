@@ -11,7 +11,6 @@ from repro.dht import (
     DhtConfig,
     FastVerDiNode,
     SecureVerDiNode,
-    block_key,
 )
 from repro.ids import NodeType
 

@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.analysis import LookupStats
 from repro.chord import LookupStyle
 from repro.dht import DhtConfig, DHashNode, FastVerDiNode
 

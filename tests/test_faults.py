@@ -1,0 +1,353 @@
+"""Unit and integration tests for the fault-injection subsystem."""
+
+import math
+
+import pytest
+
+from repro.chord.config import OverlayConfig
+from repro.experiments.builders import build_ring
+from repro.faults import (
+    FaultPlan,
+    GrayFailure,
+    LinkFault,
+    Outage,
+    OutageScript,
+    Partition,
+)
+from repro.faults.plan import DELIVER, FAULT_CAUSES
+from repro.ids import IdSpace
+from repro.net import ConstantLatency, Network, NodeAddress
+from repro.sim import RngRegistry, Simulator
+
+
+# -- Partition ---------------------------------------------------------------
+
+
+def two_group_partition(start=10.0, heal=20.0):
+    return Partition.of([{0, 1}, {2, 3}], start, heal)
+
+
+def test_partition_severs_cross_group_both_ways_inside_window():
+    p = two_group_partition()
+    assert p.severs(0, 2, 15.0)
+    assert p.severs(2, 0, 15.0)
+
+
+def test_partition_keeps_intra_group_traffic():
+    p = two_group_partition()
+    assert not p.severs(0, 1, 15.0)
+    assert not p.severs(2, 3, 15.0)
+
+
+def test_partition_inactive_outside_window():
+    p = two_group_partition(start=10.0, heal=20.0)
+    assert not p.severs(0, 2, 9.9)
+    assert not p.severs(0, 2, 20.0)  # heal instant: traffic flows again
+
+
+def test_partition_ignores_unlisted_hosts():
+    p = two_group_partition()
+    assert not p.severs(7, 0, 15.0)
+    assert not p.severs(0, 7, 15.0)
+
+
+def test_partition_validation():
+    with pytest.raises(ValueError):
+        Partition.of([{0, 1}], 0.0, 1.0)  # one group is no partition
+    with pytest.raises(ValueError):
+        Partition.of([{0}, {0, 1}], 0.0, 1.0)  # overlapping groups
+    with pytest.raises(ValueError):
+        Partition.of([{0}, {1}], 5.0, 5.0)  # empty window
+
+
+# -- LinkFault ---------------------------------------------------------------
+
+
+def test_link_fault_matches_directed_window():
+    f = LinkFault.between({0}, {1}, drop_prob=1.0, start_s=5.0, end_s=10.0)
+    assert f.matches(0, 1, 7.0)
+    assert not f.matches(1, 0, 7.0)  # asymmetric by default
+    assert not f.matches(0, 1, 10.0)
+
+
+def test_symmetric_link_fault_matches_reverse_direction():
+    f = LinkFault.between({0}, {1}, drop_prob=1.0, symmetric=True)
+    assert f.matches(1, 0, 0.0)
+
+
+def test_none_hosts_match_everything():
+    f = LinkFault(drop_prob=1.0)
+    assert f.matches(11, 42, 0.0)
+
+
+def test_burst_builder_covers_interval():
+    f = LinkFault.burst(100.0, 5.0, hosts={3, 4})
+    assert f.matches(3, 4, 102.0)
+    assert f.matches(4, 3, 102.0)
+    assert not f.matches(3, 4, 105.0)
+    assert not f.matches(0, 1, 102.0)  # other hosts untouched
+
+
+def test_link_fault_validation():
+    with pytest.raises(ValueError):
+        LinkFault(drop_prob=1.5)
+    with pytest.raises(ValueError):
+        LinkFault(extra_latency_s=-1.0)
+    with pytest.raises(ValueError):
+        LinkFault(start_s=5.0, end_s=5.0)
+
+
+# -- GrayFailure -------------------------------------------------------------
+
+
+def test_gray_failure_window_and_validation():
+    g = GrayFailure(2, start_s=1.0, end_s=3.0)
+    assert not g.active(0.5)
+    assert g.active(1.0)
+    assert not g.active(3.0)
+    with pytest.raises(ValueError):
+        GrayFailure(0, inbound_drop_prob=2.0)
+    with pytest.raises(ValueError):
+        GrayFailure(0, response_delay_s=-0.1)
+
+
+# -- FaultPlan verdicts ------------------------------------------------------
+
+
+def test_plan_without_faults_always_delivers():
+    plan = FaultPlan(seed=1)
+    assert plan.verdict(0, 1, 100.0) is DELIVER
+
+
+def test_partition_verdict_tagged_and_counted():
+    plan = FaultPlan().add_partition(two_group_partition())
+    v = plan.verdict(0, 2, 15.0)
+    assert not v.deliver
+    assert v.cause == "partition"
+    assert v.cause in FAULT_CAUSES
+    assert plan.stats.drops_by_cause["partition"] == 1
+    assert plan.stats.total_drops == 1
+
+
+def test_certain_link_fault_drops_without_rng():
+    plan = FaultPlan().add_link_fault(LinkFault(drop_prob=1.0))
+    v = plan.verdict(0, 1, 0.0)
+    assert not v.deliver and v.cause == "link-fault"
+
+
+def test_link_fault_latency_accumulates():
+    plan = (
+        FaultPlan()
+        .add_link_fault(LinkFault(extra_latency_s=0.1))
+        .add_link_fault(LinkFault(extra_latency_s=0.2))
+    )
+    v = plan.verdict(0, 1, 0.0)
+    assert v.deliver
+    assert v.extra_latency_s == pytest.approx(0.3)
+    assert plan.stats.delayed_messages == 1
+
+
+def test_probabilistic_drop_rate_is_roughly_honoured():
+    plan = FaultPlan(seed=3).add_link_fault(LinkFault(drop_prob=0.3))
+    dropped = sum(
+        1 for _ in range(1000) if not plan.verdict(0, 1, 0.0).deliver
+    )
+    assert 200 < dropped < 400
+
+
+def test_gray_failure_drops_inbound_and_delays_outbound():
+    plan = FaultPlan().add_gray_failure(
+        GrayFailure(5, inbound_drop_prob=1.0, response_delay_s=0.4)
+    )
+    inbound = plan.verdict(0, 5, 0.0)
+    assert not inbound.deliver and inbound.cause == "gray-failure"
+    outbound = plan.verdict(5, 0, 0.0)
+    assert outbound.deliver
+    assert outbound.extra_latency_s == pytest.approx(0.4)
+
+
+def test_plan_verdicts_are_deterministic_per_seed():
+    def sequence(seed):
+        plan = FaultPlan(seed).add_link_fault(LinkFault(drop_prob=0.5))
+        return [plan.verdict(0, 1, 0.0).deliver for _ in range(50)]
+
+    assert sequence(7) == sequence(7)
+    assert sequence(7) != sequence(8)
+
+
+def test_link_streams_are_independent():
+    """Traffic on one link must not perturb verdicts on another."""
+    lone = FaultPlan(seed=9).add_link_fault(LinkFault(drop_prob=0.5))
+    baseline = [lone.verdict(0, 1, 0.0).deliver for _ in range(30)]
+
+    busy = FaultPlan(seed=9).add_link_fault(LinkFault(drop_prob=0.5))
+    interleaved = []
+    for _ in range(30):
+        busy.verdict(2, 3, 0.0)  # extra traffic elsewhere
+        interleaved.append(busy.verdict(0, 1, 0.0).deliver)
+    assert interleaved == baseline
+
+
+# -- Network integration -----------------------------------------------------
+
+
+def faulty_net(plan, hosts=4):
+    sim = Simulator()
+    net = Network(
+        sim, ConstantLatency(num_hosts=hosts, one_way=0.05), fault_plan=plan
+    )
+    return sim, net
+
+
+def test_network_counts_fault_drops_by_cause():
+    plan = FaultPlan().add_partition(Partition.of([{0}, {1}], 0.0, 10.0))
+    sim, net = faulty_net(plan)
+    got = []
+    net.register(NodeAddress(1), got.append)
+    net.send(NodeAddress(0), NodeAddress(1), "x", size=64)
+    sim.run()
+    assert got == []
+    assert net.dropped("partition") == 1
+    assert net.fault_drops == 1
+    assert net.accounting.dropped("partition") == 1
+
+
+def test_network_applies_fault_latency():
+    plan = FaultPlan().add_link_fault(LinkFault(extra_latency_s=0.5))
+    sim, net = faulty_net(plan)
+    times = []
+    net.register(NodeAddress(1), lambda m: times.append(sim.now))
+    net.send(NodeAddress(0), NodeAddress(1), "x", size=64)
+    sim.run()
+    assert times[0] == pytest.approx(0.55)
+
+
+def test_network_delivers_again_after_heal():
+    plan = FaultPlan().add_partition(Partition.of([{0}, {1}], 0.0, 10.0))
+    sim, net = faulty_net(plan)
+    got = []
+    net.register(NodeAddress(1), got.append)
+    sim.run(until=10.0)
+    net.send(NodeAddress(0), NodeAddress(1), "late", size=64)
+    sim.run()
+    assert len(got) == 1
+
+
+# -- Outage scripts ----------------------------------------------------------
+
+
+def small_ring(num_nodes=12, seed=2):
+    config = OverlayConfig(
+        space=IdSpace(32),
+        num_successors=4,
+        num_predecessors=4,
+        stabilize_interval_s=5.0,
+        finger_interval_s=10.0,
+    )
+    sim = Simulator()
+    network = Network(sim, ConstantLatency(num_hosts=num_nodes, one_way=0.02))
+    rngs = RngRegistry(seed)
+    return build_ring(sim, network, config, num_nodes, rngs, None), rngs
+
+
+def test_outage_validation_and_restart_time():
+    with pytest.raises(ValueError):
+        Outage(0, 10.0, 0.0)
+    assert Outage(0, 10.0, 5.0).restart_s == 15.0
+    assert Outage(0, 10.0, math.inf).restart_s is None
+
+
+def test_outage_script_crashes_and_restarts_through_join():
+    ring, rngs = small_ring()
+    script = OutageScript(
+        ring.sim,
+        ring.population,
+        ring.factory,
+        rngs.stream("outages"),
+        [Outage(3, 20.0, 30.0), Outage(5, 25.0, math.inf)],
+    )
+    script.start()
+    ring.sim.run(until=200.0)
+    assert script.crashes == 2
+    assert script.restarts == 1  # host 5 stays down for good
+    assert script.skipped == 0
+    slots = sorted(n.address.host_slot for n in ring.population.nodes)
+    assert 3 in slots and 5 not in slots
+    restarted = next(
+        n for n in ring.population.nodes if n.address.host_slot == 3
+    )
+    assert restarted.address.incarnation == 1
+    assert restarted.alive
+
+
+def test_outage_script_skips_hosts_already_down():
+    ring, rngs = small_ring()
+    victim = next(
+        n for n in ring.population.nodes if n.address.host_slot == 4
+    )
+    ring.population.remove(victim)
+    victim.crash()
+    script = OutageScript(
+        ring.sim,
+        ring.population,
+        ring.factory,
+        rngs.stream("outages"),
+        [Outage(4, 10.0, 5.0)],
+    )
+    script.start()
+    ring.sim.run(until=12.0)
+    assert script.skipped == 1
+    assert script.crashes == 0
+
+
+def test_outage_script_composes_with_partition_plan():
+    """A crash during a partition still restarts after the heal."""
+    config = OverlayConfig(
+        space=IdSpace(32),
+        num_successors=4,
+        num_predecessors=4,
+        stabilize_interval_s=5.0,
+        finger_interval_s=10.0,
+    )
+    sim = Simulator()
+    plan = FaultPlan(seed=4).add_partition(
+        Partition.of([range(4), range(4, 12)], 30.0, 60.0)
+    )
+    network = Network(
+        sim, ConstantLatency(num_hosts=12, one_way=0.02), fault_plan=plan
+    )
+    rngs = RngRegistry(6)
+    ring = build_ring(sim, network, config, 12, rngs, None)
+    script = OutageScript(
+        sim,
+        ring.population,
+        ring.factory,
+        rngs.stream("outages"),
+        [Outage(1, 40.0, 40.0)],
+    )
+    script.start()
+    sim.run(until=300.0)
+    assert script.crashes == 1
+    assert script.restarts >= 1
+    assert network.dropped("partition") > 0
+
+
+def test_gray_failure_slows_rpc_but_node_stays_reachable():
+    ring, _rngs = small_ring()
+    gray_host = ring.nodes[0].address.host_slot
+    plan = FaultPlan().add_gray_failure(
+        GrayFailure(gray_host, response_delay_s=0.2)
+    )
+    ring.network.fault_plan = plan
+    other = ring.nodes[1]
+    replies = []
+    other.rpc.call(
+        ring.nodes[0].address,
+        "ping",
+        {},
+        on_reply=lambda r: replies.append(ring.sim.now),
+    )
+    start = ring.sim.now
+    ring.sim.run(until=start + 2.0)
+    # 0.02 out + (0.02 + 0.2 gray delay) back
+    assert replies and replies[0] - start == pytest.approx(0.24)

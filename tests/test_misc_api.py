@@ -1,7 +1,6 @@
 """Direct tests for small public APIs exercised only indirectly
 elsewhere: message sizing, op tags, the grid/averaging wrappers."""
 
-import pytest
 
 from repro.dht import next_op_tag
 from repro.net import HEADER_BYTES, ID_BYTES, ADDR_BYTES, Message, NodeAddress, entry_bytes

@@ -148,3 +148,60 @@ def test_accounting_reset():
     acct.reset()
     assert acct.total_bytes == 0
     assert acct.bytes_for_op(1) == 0
+
+
+# -- cause-tagged drop counters ----------------------------------------------
+
+
+def test_loss_drops_tagged_with_cause():
+    sim, net = make_net(loss_rate=1.0)
+    net.register(NodeAddress(1), lambda m: None)
+    net.send(NodeAddress(0), NodeAddress(1), "x", size=64)
+    sim.run()
+    assert net.dropped("loss") == 1
+    assert net.dropped("dead-destination") == 0
+    assert net.fault_drops == 0
+    assert net.dropped_messages == 1
+
+
+def test_dead_destination_drops_tagged_with_cause():
+    sim, net = make_net()
+    net.send(NodeAddress(0), NodeAddress(1), "x", size=64)
+    sim.run()
+    assert net.dropped("dead-destination") == 1
+    assert net.dropped("loss") == 0
+
+
+def test_causes_accumulate_independently():
+    sim, net = make_net(loss_rate=0.5)
+    addr = NodeAddress(1)
+    got = []
+    net.register(addr, got.append)
+    for _ in range(100):
+        net.send(NodeAddress(0), addr, "x", size=64)
+    sim.run()
+    net.unregister(addr)
+    net.send(NodeAddress(0), addr, "x", size=64)
+    sim.run()
+    lost = net.dropped("loss")
+    assert 20 < lost < 80
+    assert net.dropped("dead-destination") >= 1
+    assert net.dropped_messages == lost + net.dropped("dead-destination")
+    assert len(got) == 100 - lost
+
+
+def test_accounting_mirrors_drop_causes():
+    sim, net = make_net()
+    net.send(NodeAddress(0), NodeAddress(1), "x", size=64)
+    sim.run()
+    assert net.accounting.dropped("dead-destination") == 1
+    assert net.accounting.total_dropped == 1
+    assert net.accounting.dropped_by_cause == {"dead-destination": 1}
+
+
+def test_accounting_reset_clears_drop_causes():
+    acct = ByteAccounting()
+    acct.record_drop("loss")
+    acct.reset()
+    assert acct.total_dropped == 0
+    assert acct.dropped("loss") == 0

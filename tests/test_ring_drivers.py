@@ -2,10 +2,9 @@
 
 import random
 
-import pytest
 
 from repro.analysis import LookupStats
-from repro.chord import LookupStyle, LookupWorkload, Population, instant_bootstrap
+from repro.chord import LookupStyle, LookupWorkload, Population
 from repro.chord.ring import make_static_overlay
 from repro.overlay import StaticOverlay, VermeStaticOverlay
 

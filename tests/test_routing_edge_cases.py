@@ -3,10 +3,8 @@ pending-route GC, dead transitive origins, token staleness."""
 
 import random
 
-import pytest
 
 from repro.chord import LookupPurpose, LookupStyle
-from repro.chord.node import ChordNode
 
 from conftest import build_chord_ring, run_lookup
 

@@ -160,3 +160,225 @@ def test_min_rpc_bytes_accounted(pair):
     a.call(b.address, "echo", {}, category="lookup")
     sim.run()
     assert net.accounting.category_bytes("lookup") >= 2 * MIN_RPC_BYTES
+
+
+# -- retransmission with exponential backoff ---------------------------------
+
+
+def test_no_retransmit_by_default(pair):
+    sim, _net, a, _b = pair
+    a.call(NodeAddress(2), "x", {})
+    sim.run()
+    assert a.detector.retransmits == 0
+    assert a.detector.timeouts == 1
+
+
+def test_backoff_timeout_sequence():
+    """Attempts time out at 1, 1+2, 1+2+4 with base 1.0 and factor 2."""
+    sim = Simulator()
+    net = Network(sim, ConstantLatency(num_hosts=4, one_way=0.05))
+    a = RpcLayer(
+        sim, net, NodeAddress(0), default_timeout_s=1.0,
+        max_retransmits=2, backoff_factor=2.0,
+    )
+    a.start()
+    errors = []
+    a.call(NodeAddress(2), "x", {}, on_error=errors.append)
+    sim.run()
+    assert errors == ["timeout"]
+    assert sim.now == pytest.approx(7.0)
+    assert a.detector.retransmits == 2
+    assert a.detector.timeouts == 1  # only the final expiry counts
+
+
+def test_retransmit_rescues_a_dropped_request():
+    """A loss burst eats the first send; the retransmission gets through.
+
+    The same scenario without retransmits fails outright.
+    """
+    from repro.faults import FaultPlan, LinkFault
+
+    def attempt(max_retransmits):
+        sim = Simulator()
+        plan = FaultPlan(seed=1).add_link_fault(
+            LinkFault.burst(0.0, 0.5)
+        )
+        net = Network(
+            sim, ConstantLatency(num_hosts=4, one_way=0.05), fault_plan=plan
+        )
+        a = RpcLayer(
+            sim, net, NodeAddress(0), default_timeout_s=1.0,
+            max_retransmits=max_retransmits,
+        )
+        b = RpcLayer(sim, net, NodeAddress(1), default_timeout_s=1.0)
+        a.start()
+        b.start()
+        b.register("echo", lambda params, ctx: ctx.respond("ok"))
+        replies, errors = [], []
+        a.call(
+            b.address, "echo", {},
+            on_reply=replies.append, on_error=errors.append,
+        )
+        sim.run()
+        return replies, errors
+
+    replies, errors = attempt(max_retransmits=2)
+    assert replies == ["ok"] and errors == []
+    replies, errors = attempt(max_retransmits=0)
+    assert replies == [] and errors == ["timeout"]
+
+
+def test_duplicate_reply_after_retransmit_ignored(pair):
+    sim, _net, a, b = pair
+    a.max_retransmits = 2
+    calls = []
+
+    def slow(params, ctx):
+        calls.append(sim.now)
+        sim.schedule(1.5, ctx.respond, "ok")  # longer than the timeout
+
+    b.register("slow", slow)
+    replies = []
+    a.call(b.address, "slow", {}, on_reply=replies.append)
+    sim.run()
+    assert len(calls) == 2  # original + one retransmission arrived
+    assert replies == ["ok"]  # the second reply was dropped on the floor
+
+
+def test_backoff_jitter_is_deterministic():
+    import random as _random
+
+    def final_time(seed):
+        sim = Simulator()
+        net = Network(sim, ConstantLatency(num_hosts=4, one_way=0.05))
+        a = RpcLayer(
+            sim, net, NodeAddress(0), default_timeout_s=1.0,
+            max_retransmits=2, backoff_factor=2.0, backoff_jitter=0.2,
+            jitter_rng=_random.Random(seed),
+        )
+        a.start()
+        a.call(NodeAddress(2), "x", {})
+        sim.run()
+        return sim.now
+
+    assert final_time(5) == final_time(5)
+    assert final_time(5) != final_time(6)
+    assert 0.8 * 7.0 < final_time(5) < 1.2 * 7.0
+
+
+def test_exponential_backoff_retransmits_less_than_fixed_interval():
+    """Under 15% loss with a slow responder, exponential backoff issues
+    measurably fewer duplicate retransmissions than fixed-interval retry
+    while still completing the calls."""
+    import random as _random
+
+    def scenario(backoff_factor):
+        sim = Simulator()
+        net = Network(
+            sim,
+            ConstantLatency(num_hosts=4, one_way=0.05),
+            loss_rate=0.15,
+            loss_rng=_random.Random(11),
+        )
+        a = RpcLayer(
+            sim, net, NodeAddress(0), default_timeout_s=1.0,
+            max_retransmits=4, backoff_factor=backoff_factor,
+        )
+        b = RpcLayer(sim, net, NodeAddress(1), default_timeout_s=1.0)
+        a.start()
+        b.start()
+        # Responds well after the base timeout: a fixed-interval caller
+        # keeps hammering while waiting, backoff holds off.
+        b.register("slow", lambda params, ctx: sim.schedule(2.4, ctx.respond, "ok"))
+        replies = []
+
+        def issue():
+            a.call(b.address, "slow", {}, on_reply=replies.append)
+
+        for i in range(40):
+            sim.schedule(i * 20.0, issue)
+        sim.run()
+        return a.detector, len(replies)
+
+    fixed, fixed_ok = scenario(backoff_factor=1.0)
+    exponential, exp_ok = scenario(backoff_factor=2.0)
+    assert exp_ok >= 38 and fixed_ok >= 38  # retries mask the loss
+    assert exponential.retransmits < fixed.retransmits
+    assert exponential.calls == fixed.calls == 40
+
+
+# -- shutdown notification ---------------------------------------------------
+
+
+def test_shutdown_silent_by_default_matches_crash_semantics(pair):
+    sim, _net, a, _b = pair
+    errors = []
+    a.call(NodeAddress(2), "x", {}, on_error=errors.append)
+    a.shutdown()
+    sim.run()
+    assert errors == []
+
+
+def test_shutdown_notify_local_errors_fires_shutdown(pair):
+    sim, _net, a, _b = pair
+    errors = []
+    a.call(NodeAddress(2), "x", {}, on_error=errors.append)
+    a.call(NodeAddress(3), "y", {}, on_error=errors.append)
+    a.shutdown(notify_local_errors=True)
+    assert errors == ["shutdown", "shutdown"]  # synchronous
+    assert not a.alive
+    sim.run()
+    assert errors == ["shutdown", "shutdown"]  # and no late timeouts
+
+
+def test_shutdown_notify_callbacks_see_dead_layer(pair):
+    sim, _net, a, _b = pair
+    observed = []
+    a.call(
+        NodeAddress(2), "x", {},
+        on_error=lambda err: observed.append((err, a.alive)),
+    )
+    a.shutdown(notify_local_errors=True)
+    assert observed == [("shutdown", False)]
+
+
+# -- failure-detector statistics ---------------------------------------------
+
+
+def test_detector_suspects_after_timeout_and_records_recovery(pair):
+    sim, _net, a, b = pair
+    dead = NodeAddress(2)
+    a.call(dead, "x", {})
+    sim.run()
+    assert a.detector.suspected == [dead]
+    assert a.detector.peers[dead].timeouts == 1
+
+    # The peer comes back: the next reply clears the suspicion and
+    # records how long it lasted.
+    c = RpcLayer(sim, _net, dead, default_timeout_s=1.0)
+    c.start()
+    c.register("x", lambda params, ctx: ctx.respond("back"))
+    replies = []
+    a.call(dead, "x", {}, on_reply=replies.append)
+    sim.run()
+    assert replies == ["back"]
+    assert a.detector.suspected == []
+    assert len(a.detector.recovery_times_s) == 1
+    assert a.detector.recovery_times_s[0] == pytest.approx(
+        sim.now - 1.0
+    )
+    assert a.detector.peers[dead].last_recovery_s == pytest.approx(
+        sim.now - 1.0
+    )
+
+
+def test_detector_suspect_after_threshold(pair):
+    sim, _net, a, _b = pair
+    a.detector.suspect_after = 2
+    dead = NodeAddress(2)
+    a.call(dead, "x", {})
+    sim.run()
+    assert a.detector.suspected == []  # one timeout is not enough
+    a.call(dead, "x", {})
+    sim.run()
+    assert a.detector.suspected == [dead]

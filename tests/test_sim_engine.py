@@ -179,3 +179,77 @@ def test_pending_events_counts_queue():
     sim.schedule(1.0, lambda: None)
     sim.schedule(2.0, lambda: None)
     assert sim.pending_events == 2
+
+
+def test_max_events_stops_then_resumes():
+    sim = Simulator()
+    fired = []
+    for i in range(6):
+        sim.schedule(float(i + 1), fired.append, i)
+    sim.run(max_events=2)
+    assert fired == [0, 1]
+    assert sim.now == 2.0
+    sim.run(max_events=2)
+    assert fired == [0, 1, 2, 3]
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+
+
+def test_max_events_does_not_count_cancelled_events():
+    sim = Simulator()
+    fired = []
+    handles = [sim.schedule(1.0, fired.append, i) for i in range(3)]
+    sim.schedule(2.0, fired.append, "live")
+    for handle in handles:
+        handle.cancel()
+    sim.run(max_events=1)
+    assert fired == ["live"]
+    assert sim.events_processed == 1
+
+
+def test_callback_cancels_later_event_at_same_timestamp():
+    """A handler may cancel a sibling scheduled for the same instant;
+    the sibling must not fire even though it is already due."""
+    sim = Simulator()
+    fired = []
+    victim = sim.schedule(1.0, fired.append, "victim")
+
+    def killer():
+        fired.append("killer")
+        victim.cancel()
+
+    # FIFO among ties would run the victim first if it had been
+    # scheduled first - so schedule the killer ahead of it.
+    sim2 = Simulator()
+    fired2 = []
+
+    def killer2():
+        fired2.append("killer")
+        victim2.cancel()
+
+    sim2.schedule(1.0, killer2)
+    victim2 = sim2.schedule(1.0, fired2.append, "victim")
+    sim2.run()
+    assert fired2 == ["killer"]
+    assert victim2.cancelled and not victim2.fired
+
+    # And the mirror image: scheduled first, the victim fires first.
+    sim.schedule(1.0, killer)  # killer after victim: too late to stop it
+    sim.run()
+    assert fired == ["victim", "killer"]
+
+
+def test_cancel_same_timestamp_from_periodic_chain():
+    """Cancelling inside a same-tick cascade leaves the queue usable."""
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        h_late.cancel()
+        sim.schedule(0.0, fired.append, "chained")
+
+    sim.schedule(1.0, first)
+    h_late = sim.schedule(1.0, fired.append, "late")
+    sim.run()
+    assert fired == ["first", "chained"]

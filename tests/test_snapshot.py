@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.chord.state import NodeInfo
-from repro.ids import IdSpace, NodeType, VermeIdLayout
+from repro.ids import IdSpace, VermeIdLayout
 from repro.net import NodeAddress
 from repro.overlay import StaticOverlay, VermeStaticOverlay
 
@@ -127,7 +127,6 @@ def test_verme_owner_tail_gap_goes_to_predecessor():
 
 def test_verme_owner_empty_section_falls_to_ring_predecessor():
     # Build a tiny population that leaves sections empty.
-    rng = random.Random(3)
     infos = [
         NodeInfo(LAYOUT.make_id(1, 0, 5), NodeAddress(0)),
         NodeInfo(LAYOUT.make_id(4, 1, 9), NodeAddress(1)),

@@ -9,7 +9,6 @@ from repro.crypto import CertificateAuthority, SealedPayload
 from repro.ids import NodeType
 from repro.net import NodeAddress
 from repro.verme import VermeNode, verme_finger_target
-from repro.verme.node import VermeNode as VN
 
 from conftest import build_verme_ring, run_lookup
 

@@ -3,7 +3,6 @@ containment *ordering* must reproduce."""
 
 import pytest
 
-from repro.ids import NodeType
 from repro.worm import (
     WormScenarioConfig,
     build_chord_population,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.sim import Simulator
 from repro.worm import WormParams, WormSimulation, WormState
-from repro.worm.simulation import WormSimulation as WS
 
 
 class FixedKnowledge:
