@@ -1,0 +1,74 @@
+"""Fig. 5-scale lookup benchmark (``BENCH_fig5.json``).
+
+One ``chord-recursive`` cell of the Fig. 5 experiment — ring build,
+churn, lookup workload over the King latency matrix — at the default
+reduced scale (120 nodes, 30 simulated minutes).  This covers the
+layers the kernel microbenchmark does not: the network fabric, RPC
+timeouts (cancellation-heavy), stabilization timers and the lookup
+protocol itself.
+
+Usage::
+
+    python benchmarks/perf/fig5_lookup.py              # default (~10 s)
+    python benchmarks/perf/fig5_lookup.py --smoke      # CI scale (~2 s)
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import perf_common  # noqa: E402  (sets sys.path for the repro import)
+
+from repro.experiments import Fig5Config  # noqa: E402
+from repro.experiments.fig5_lookup_latency import run_cell_instrumented  # noqa: E402
+
+SEED = 0
+SYSTEM = "chord-recursive"
+MEAN_LIFETIME_S = 1800.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=120)
+    parser.add_argument("--duration", type=float, default=1800.0,
+                        help="simulated seconds (default 1800)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="40 nodes / 300 simulated seconds, for CI")
+    parser.add_argument("--out", default=None,
+                        help="output path (default BENCH_fig5.json at repo root)")
+    args = parser.parse_args(argv)
+    nodes = 40 if args.smoke else args.nodes
+    duration = 300.0 if args.smoke else args.duration
+
+    config = Fig5Config(num_nodes=nodes, duration_s=duration, seed=SEED)
+    start = time.perf_counter()
+    row, events = run_cell_instrumented(config, SYSTEM, MEAN_LIFETIME_S)
+    wall = time.perf_counter() - start
+
+    record = perf_common.bench_record(
+        name="fig5",
+        wall_clock_s=wall,
+        events=events,
+        seed=SEED,
+        parameters={
+            "system": SYSTEM,
+            "num_nodes": nodes,
+            "duration_s": duration,
+            "mean_lifetime_s": MEAN_LIFETIME_S,
+        },
+        metrics={
+            "lookups": float(row.lookups),
+            "mean_latency_s": row.mean_latency_s,
+            "failure_rate": row.failure_rate,
+        },
+    )
+    path = perf_common.write_record(record, args.out)
+    print(f"fig5 {nodes} nodes x {duration:.0f}s sim: {wall:.2f}s wall, "
+          f"{events:,} events ({record['events_per_s']:,.0f}/s), "
+          f"{row.lookups} lookups -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,118 @@
+"""Kernel event-throughput microbenchmark (``BENCH_kernel.json``).
+
+Three workloads exercise the event kernel the way the experiment
+drivers do:
+
+* ``chain`` — self-rescheduling callbacks through ``schedule`` (the
+  cancellable-handle path protocol timers use);
+* ``fastpath`` — the same chains through ``call_after`` (the
+  fire-and-forget path message delivery and worm scans use);
+* ``timeout`` — a schedule-then-cancel pattern per event (RPC timeout
+  bookkeeping), which stresses lazy cancellation and compaction.
+
+The headline ``events_per_s`` is the total events fired over total
+wall-clock across all three, so a regression in any path moves it.
+
+Usage::
+
+    python benchmarks/perf/kernel_throughput.py            # full (~2 s)
+    python benchmarks/perf/kernel_throughput.py --smoke    # CI (~0.2 s)
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import perf_common  # noqa: E402  (sets sys.path for the repro import)
+
+from repro.sim import Simulator  # noqa: E402
+
+
+def bench_chain(n_events: int, chains: int = 64) -> tuple[float, int]:
+    sim = Simulator()
+    remaining = [n_events]
+
+    def tick() -> None:
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            sim.schedule(0.001, tick)
+
+    for _ in range(chains):
+        sim.schedule(0.0, tick)
+    start = time.perf_counter()
+    sim.run()
+    return time.perf_counter() - start, sim.events_processed
+
+
+def bench_fastpath(n_events: int, chains: int = 64) -> tuple[float, int]:
+    sim = Simulator()
+    remaining = [n_events]
+
+    def tick() -> None:
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            sim.call_after(0.001, tick)
+
+    for _ in range(chains):
+        sim.call_after(0.0, tick)
+    start = time.perf_counter()
+    sim.run()
+    return time.perf_counter() - start, sim.events_processed
+
+
+def bench_timeout(n_events: int) -> tuple[float, int]:
+    sim = Simulator()
+    remaining = [n_events]
+
+    def tick() -> None:
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            handle = sim.schedule(10.0, tick)  # a timeout that never fires
+            handle.cancel()
+            sim.schedule(0.001, tick)
+
+    sim.schedule(0.0, tick)
+    start = time.perf_counter()
+    sim.run()
+    return time.perf_counter() - start, sim.events_processed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--events", type=int, default=200_000,
+                        help="events per workload (default 200000)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny scale for CI (20000 events)")
+    parser.add_argument("--out", default=None,
+                        help="output path (default BENCH_kernel.json at repo root)")
+    args = parser.parse_args(argv)
+    n = 20_000 if args.smoke else args.events
+
+    chain_s, chain_ev = bench_chain(n)
+    fast_s, fast_ev = bench_fastpath(n)
+    timeout_s, timeout_ev = bench_timeout(n)
+
+    total_s = chain_s + fast_s + timeout_s
+    total_ev = chain_ev + fast_ev + timeout_ev
+    record = perf_common.bench_record(
+        name="kernel",
+        wall_clock_s=total_s,
+        events=total_ev,
+        seed=0,  # the workload is deterministic; no RNG involved
+        parameters={"events_per_workload": n, "chains": 64},
+        metrics={
+            "chain_events_per_s": chain_ev / chain_s,
+            "fastpath_events_per_s": fast_ev / fast_s,
+            "timeout_events_per_s": timeout_ev / timeout_s,
+        },
+    )
+    path = perf_common.write_record(record, args.out)
+    print(f"kernel: {record['events_per_s']:,.0f} events/s "
+          f"(chain {chain_ev / chain_s:,.0f}, fastpath {fast_ev / fast_s:,.0f}, "
+          f"timeout {timeout_ev / timeout_s:,.0f})  -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

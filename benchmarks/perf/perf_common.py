@@ -1,0 +1,136 @@
+"""Shared plumbing for the perf-regression suite.
+
+Each benchmark in this directory is a standalone CLI that runs one
+workload, measures it, and writes a ``BENCH_<name>.json`` record at the
+repository root (override with ``--out``).  The record schema is what
+``scripts/compare_bench.py`` diffs and CI validates:
+
+* ``name`` — benchmark identity; only same-name records compare;
+* ``schema_version`` — bump when fields change incompatibly;
+* ``wall_clock_s`` / ``events`` / ``events_per_s`` — the measurements
+  (``events`` is the kernel's ``events_processed`` delta);
+* ``peak_rss_kib`` — ``ru_maxrss`` of the process, KiB on Linux;
+* ``seed`` — the experiment seed, so a record pins a reproducible run;
+* ``machine`` — fingerprint (platform, python, CPU count) so
+  cross-machine diffs can be recognised and discounted;
+* ``parameters`` — the workload knobs; records with different
+  parameters are not comparable and ``compare_bench.py`` refuses them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import resource
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+# Allow running straight from a checkout without installing the package.
+if "repro" not in sys.modules:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+
+SCHEMA_VERSION = 1
+
+#: Field name -> required type(s) for schema validation.
+SCHEMA_FIELDS: Dict[str, tuple] = {
+    "name": (str,),
+    "schema_version": (int,),
+    "wall_clock_s": (float, int),
+    "events": (int,),
+    "events_per_s": (float, int),
+    "peak_rss_kib": (int,),
+    "seed": (int,),
+    "machine": (dict,),
+    "parameters": (dict,),
+}
+
+
+def machine_fingerprint() -> Dict[str, Any]:
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def peak_rss_kib() -> int:
+    """High-water resident set size of this process (KiB on Linux)."""
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # ru_maxrss is bytes on macOS
+        rss //= 1024
+    return int(rss)
+
+
+def bench_record(
+    name: str,
+    wall_clock_s: float,
+    events: int,
+    seed: int,
+    parameters: Dict[str, Any],
+    metrics: Optional[Dict[str, float]] = None,
+) -> Dict[str, Any]:
+    """Assemble a schema-conforming benchmark record."""
+    record: Dict[str, Any] = {
+        "name": name,
+        "schema_version": SCHEMA_VERSION,
+        "wall_clock_s": wall_clock_s,
+        "events": events,
+        "events_per_s": events / wall_clock_s if wall_clock_s > 0 else 0.0,
+        "peak_rss_kib": peak_rss_kib(),
+        "seed": seed,
+        "machine": machine_fingerprint(),
+        "parameters": parameters,
+    }
+    if metrics:
+        record["metrics"] = metrics
+    return record
+
+
+def validate_record(record: Any) -> None:
+    """Raise ``ValueError`` if ``record`` does not match the schema."""
+    if not isinstance(record, dict):
+        raise ValueError("benchmark record must be a JSON object")
+    for field, types in SCHEMA_FIELDS.items():
+        if field not in record:
+            raise ValueError(f"missing required field {field!r}")
+        if not isinstance(record[field], types) or isinstance(record[field], bool):
+            raise ValueError(
+                f"field {field!r} has type {type(record[field]).__name__}, "
+                f"expected {' or '.join(t.__name__ for t in types)}"
+            )
+    if record["schema_version"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"schema_version {record['schema_version']} != {SCHEMA_VERSION}"
+        )
+    if record["wall_clock_s"] <= 0:
+        raise ValueError("wall_clock_s must be positive")
+
+
+def write_record(record: Dict[str, Any], out: Optional[str] = None) -> Path:
+    """Write the record (default: ``BENCH_<name>.json`` at repo root)."""
+    validate_record(record)
+    path = Path(out) if out else REPO_ROOT / f"BENCH_{record['name']}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+class Timer:
+    """``with Timer() as t: ...; t.elapsed`` — wall clock, monotonic."""
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start

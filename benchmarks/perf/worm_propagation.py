@@ -1,0 +1,74 @@
+"""100,000-node worm-propagation benchmark (``BENCH_worm100k.json``).
+
+Runs the paper's §7.3 ``chord`` scenario — the worst case for event
+volume, since the worm sweeps the whole population — at full 100k-node
+scale and reports kernel events/s over the complete run, population
+build included in wall-clock (the build is part of what an experiment
+pays).
+
+Usage::
+
+    python benchmarks/perf/worm_propagation.py             # 100k nodes
+    python benchmarks/perf/worm_propagation.py --smoke     # 5k, for CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import perf_common  # noqa: E402  (sets sys.path for the repro import)
+
+from repro.sim import Simulator  # noqa: E402
+from repro.worm import WormScenarioConfig, run_scenario  # noqa: E402
+
+SEED = 7
+HORIZON_S = 300.0  # chord saturates 100k nodes in ~32 s; generous margin
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=100_000)
+    parser.add_argument("--sections", type=int, default=4096)
+    parser.add_argument("--smoke", action="store_true",
+                        help="5000 nodes / 256 sections, for CI")
+    parser.add_argument("--out", default=None,
+                        help="output path (default BENCH_worm100k.json at repo root)")
+    args = parser.parse_args(argv)
+    nodes = 5000 if args.smoke else args.nodes
+    sections = 256 if args.smoke else args.sections
+
+    config = WormScenarioConfig(
+        num_nodes=nodes, num_sections=sections, seed=SEED
+    )
+    sim = Simulator()
+    start = time.perf_counter()
+    result = run_scenario("chord", config, until=HORIZON_S, sim=sim)
+    wall = time.perf_counter() - start
+    events = sim.events_processed
+
+    record = perf_common.bench_record(
+        name="worm100k",
+        wall_clock_s=wall,
+        events=events,
+        seed=SEED,
+        parameters={
+            "scenario": "chord",
+            "num_nodes": nodes,
+            "num_sections": sections,
+            "horizon_s": HORIZON_S,
+        },
+        metrics={
+            "final_infected": float(result.final_infected),
+            "vulnerable": float(result.vulnerable_count),
+        },
+    )
+    path = perf_common.write_record(record, args.out)
+    print(f"worm {nodes} nodes: {wall:.2f}s wall, "
+          f"{events:,} events ({record['events_per_s']:,.0f}/s), "
+          f"{result.final_infected}/{result.vulnerable_count} infected -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

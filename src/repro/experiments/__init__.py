@@ -15,15 +15,30 @@ from .dht_ops import (
     run_dht_experiment,
 )
 from .fig5_lookup_latency import SYSTEMS as FIG5_SYSTEMS
-from .fig5_lookup_latency import Fig5Config, run_cell, run_fig5
+from .fig5_lookup_latency import (
+    Fig5Config,
+    average_fig5_rows,
+    run_cell,
+    run_fig5,
+)
 from .fig6_dht_latency import latency_by_system, run_fig6
 from .fig7_dht_bandwidth import bytes_by_system, run_fig7
 from .fig8_worm_propagation import (
     DEFAULT_HORIZONS,
     Fig8Config,
     averaged_curve_series,
+    curve_series,
     run_fig8,
+    run_fig8_cell,
     run_fig8_scenario,
+    summarise_fig8_runs,
+)
+from .parallel import (
+    map_cells,
+    run_ablations_parallel,
+    run_fig5_parallel,
+    run_fig8_cells,
+    run_fig8_parallel,
 )
 from .records import DhtOpRow, Fig5Row, Fig8Row, ResilienceRow
 from .resilience import SYSTEMS as RESILIENCE_SYSTEMS
@@ -50,17 +65,25 @@ __all__ = [
     "ResilienceConfig",
     "ResilienceRow",
     "VermeNodeFactory",
+    "average_fig5_rows",
     "averaged_curve_series",
     "build_ring",
     "bytes_by_system",
+    "curve_series",
     "latency_by_system",
+    "map_cells",
+    "run_ablations_parallel",
     "run_cell",
     "run_dht_cell",
     "run_dht_experiment",
     "run_fig5",
+    "run_fig5_parallel",
     "run_fig6",
     "run_fig7",
     "run_fig8",
+    "run_fig8_cell",
+    "run_fig8_cells",
+    "run_fig8_parallel",
     "run_fig8_scenario",
     "run_load_comparison",
     "run_multitype_containment",
@@ -68,4 +91,5 @@ __all__ = [
     "run_replication_availability",
     "run_resilience",
     "run_resilience_cell",
+    "summarise_fig8_runs",
 ]

@@ -83,6 +83,17 @@ def run_cell(
     run_index: int = 0,
 ) -> Fig5Row:
     """One (system, lifetime) cell of Fig. 5: build, churn, measure."""
+    return run_cell_instrumented(config, system, mean_lifetime_s, run_index)[0]
+
+
+def run_cell_instrumented(
+    config: Fig5Config,
+    system: str,
+    mean_lifetime_s: float,
+    run_index: int = 0,
+) -> Tuple[Fig5Row, int]:
+    """Like :func:`run_cell` but also returns the kernel event count,
+    for the perf-regression harness's events/s metric."""
     if system not in SYSTEMS:
         raise ValueError(f"unknown system {system!r}")
     # str hashing is per-process randomised; derive_seed is stable.
@@ -133,7 +144,7 @@ def run_cell(
     per_node_per_s = maintenance_bytes / (config.num_nodes * config.duration_s)
     latency_summary = stats.latency_summary()
     hops_summary = stats.hops_summary()
-    return Fig5Row(
+    row = Fig5Row(
         system=system,
         mean_lifetime_s=mean_lifetime_s,
         mean_latency_s=latency_summary.mean,
@@ -143,6 +154,7 @@ def run_cell(
         lookups=stats.total,
         maintenance_bytes_per_node_s=per_node_per_s,
     )
+    return row, sim.events_processed
 
 
 def run_fig5(
@@ -159,11 +171,11 @@ def run_fig5(
                 run_cell(config, system, lifetime, run_index=r)
                 for r in range(config.runs)
             ]
-            rows.append(_average_rows(cells))
+            rows.append(average_fig5_rows(cells))
     return rows
 
 
-def _average_rows(cells: List[Fig5Row]) -> Fig5Row:
+def average_fig5_rows(cells: List[Fig5Row]) -> Fig5Row:
     n = len(cells)
     first = cells[0]
     if n == 1:

@@ -56,21 +56,24 @@ class Fig8Config:
         )
 
 
-def run_fig8_scenario(
-    config: Fig8Config, scenario: str
-) -> Tuple[Fig8Row, List[InfectionCurve]]:
-    """All runs of one scenario, summarised into a row + raw curves."""
+def run_fig8_cell(config: Fig8Config, scenario: str, run_index: int) -> WormRunResult:
+    """One independent (scenario, run) cell of Fig. 8.
+
+    The cell's result depends only on its arguments — seed derivation
+    included — which is what lets :mod:`repro.experiments.parallel` fan
+    cells across processes with bit-identical output.
+    """
     horizons = config.horizons or DEFAULT_HORIZONS
-    results: List[WormRunResult] = []
-    for run_index in range(config.runs):
-        scen_cfg = replace(
-            config.scenario_config,
-            seed=config.scenario_config.seed + 1000 * run_index + 1,
-        )
-        results.append(
-            run_scenario(scenario, scen_cfg, until=horizons.get(scenario))
-        )
-    row = Fig8Row(
+    scen_cfg = replace(
+        config.scenario_config,
+        seed=config.scenario_config.seed + 1000 * run_index + 1,
+    )
+    return run_scenario(scenario, scen_cfg, until=horizons.get(scenario))
+
+
+def summarise_fig8_runs(scenario: str, results: List[WormRunResult]) -> Fig8Row:
+    """Aggregate all runs of one scenario into its table row."""
+    return Fig8Row(
         scenario=scenario,
         population=results[0].population_size,
         vulnerable=results[0].vulnerable_count,
@@ -79,13 +82,39 @@ def run_fig8_scenario(
         time_to_50pct_s=_mean_or_none([r.time_to_fraction(0.50) for r in results]),
         time_to_95pct_s=_mean_or_none([r.time_to_fraction(0.95) for r in results]),
     )
-    return row, [r.curve for r in results]
+
+
+def run_fig8_scenario(
+    config: Fig8Config, scenario: str
+) -> Tuple[Fig8Row, List[InfectionCurve]]:
+    """All runs of one scenario, summarised into a row + raw curves."""
+    results = [
+        run_fig8_cell(config, scenario, run_index)
+        for run_index in range(config.runs)
+    ]
+    return summarise_fig8_runs(scenario, results), [r.curve for r in results]
 
 
 def run_fig8(
     config: Fig8Config, scenarios: Sequence[str] = SCENARIOS
 ) -> List[Fig8Row]:
     return [run_fig8_scenario(config, s)[0] for s in scenarios]
+
+
+def curve_series(
+    curves_by_scenario: Dict[str, List[InfectionCurve]],
+    horizons: Optional[Dict[str, float]] = None,
+    grid_points: int = 50,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Resample already-computed curves onto the Fig. 8 log-time grid
+    (so runners that hold raw results don't re-run the scenarios)."""
+    horizons = horizons or DEFAULT_HORIZONS
+    t_max = max(horizons.get(s, 300.0) for s in curves_by_scenario)
+    grid = log_time_grid(0.1, t_max, grid_points)
+    return {
+        scenario: average_curves(curves, grid)
+        for scenario, curves in curves_by_scenario.items()
+    }
 
 
 def averaged_curve_series(
@@ -95,14 +124,12 @@ def averaged_curve_series(
 ) -> Dict[str, List[Tuple[float, float]]]:
     """The actual Fig. 8 plot data: averaged infected-count series on a
     logarithmic time grid, one series per scenario."""
-    horizons = config.horizons or DEFAULT_HORIZONS
-    t_max = max(horizons.get(s, 300.0) for s in scenarios)
-    grid = log_time_grid(0.1, t_max, grid_points)
-    series: Dict[str, List[Tuple[float, float]]] = {}
-    for scenario in scenarios:
-        _row, curves = run_fig8_scenario(config, scenario)
-        series[scenario] = average_curves(curves, grid)
-    return series
+    curves_by_scenario = {
+        scenario: run_fig8_scenario(config, scenario)[1] for scenario in scenarios
+    }
+    return curve_series(
+        curves_by_scenario, config.horizons or DEFAULT_HORIZONS, grid_points
+    )
 
 
 def _mean_or_none(values: List[Optional[float]]) -> Optional[float]:

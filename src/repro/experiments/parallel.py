@@ -1,0 +1,180 @@
+"""Parallel execution of independent experiment cells.
+
+The figure drivers all decompose into *cells* — one (system or
+scenario, parameter, run-index) simulation whose result depends only on
+its own arguments, seed derivation included.  That makes the sweep
+embarrassingly parallel: this module fans cells across a
+:mod:`multiprocessing` pool and merges the results in a fixed cell
+order, so the output is **bit-identical** to the serial path no matter
+how many workers run or how they interleave.
+
+Determinism contract:
+
+* a cell function must be a module-level callable (picklable) whose
+  result is a pure function of its arguments;
+* results are collected with ``Pool.map`` (order-preserving) and
+  aggregated in the same order the serial loops use;
+* ``workers=None`` or ``workers <= 1`` short-circuits to an in-process
+  loop — no pool, no pickling, exactly the code path the serial
+  drivers run.
+
+``python -m repro.experiments.runner fig8 --workers 4`` is the CLI
+entry point.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..worm.model import InfectionCurve
+from ..worm.scenarios import SCENARIOS, WormRunResult, WormScenarioConfig
+from .ablations import (
+    run_load_comparison,
+    run_multitype_containment,
+    run_naive_finger_ablation,
+    run_replication_availability,
+)
+from .fig5_lookup_latency import SYSTEMS as FIG5_SYSTEMS
+from .fig5_lookup_latency import Fig5Config, average_fig5_rows, run_cell
+from .fig8_worm_propagation import (
+    Fig8Config,
+    run_fig8_cell,
+    summarise_fig8_runs,
+)
+from .records import Fig5Row, Fig8Row
+
+#: A cell: (module-level function, argument tuple).
+Cell = Tuple[Callable[..., Any], Tuple[Any, ...]]
+
+
+def _run_cell(cell: Cell) -> Any:
+    fn, args = cell
+    return fn(*args)
+
+
+def map_cells(cells: Sequence[Cell], workers: Optional[int] = None) -> List[Any]:
+    """Run every cell and return results in cell order.
+
+    Serial (in-process, no pool) when ``workers`` is ``None``/``<= 1``
+    or there is at most one cell; otherwise a ``multiprocessing`` pool
+    of ``min(workers, len(cells))`` processes.  ``chunksize=1`` keeps
+    long cells from pinning a worker behind a prefetched batch.
+    """
+    if workers is None or workers <= 1 or len(cells) <= 1:
+        return [fn(*args) for fn, args in cells]
+    pool_size = min(workers, len(cells))
+    with multiprocessing.Pool(pool_size) as pool:
+        return pool.map(_run_cell, cells, chunksize=1)
+
+
+# -- fig8 ----------------------------------------------------------------------
+
+
+def run_fig8_cells(
+    config: Fig8Config,
+    scenarios: Sequence[str] = SCENARIOS,
+    workers: Optional[int] = None,
+) -> Dict[str, List[WormRunResult]]:
+    """All (scenario, run) cells of Fig. 8, grouped by scenario."""
+    cells: List[Cell] = [
+        (run_fig8_cell, (config, scenario, run_index))
+        for scenario in scenarios
+        for run_index in range(config.runs)
+    ]
+    results = map_cells(cells, workers)
+    grouped: Dict[str, List[WormRunResult]] = {}
+    for i, scenario in enumerate(scenarios):
+        grouped[scenario] = results[i * config.runs : (i + 1) * config.runs]
+    return grouped
+
+
+def run_fig8_parallel(
+    config: Fig8Config,
+    scenarios: Sequence[str] = SCENARIOS,
+    workers: Optional[int] = None,
+) -> List[Fig8Row]:
+    """Drop-in parallel ``run_fig8``: same rows, same order."""
+    grouped = run_fig8_cells(config, scenarios, workers)
+    return [
+        summarise_fig8_runs(scenario, grouped[scenario]) for scenario in scenarios
+    ]
+
+
+def fig8_curves(
+    results_by_scenario: Dict[str, List[WormRunResult]],
+) -> Dict[str, List[InfectionCurve]]:
+    """Raw curves per scenario, for :func:`...fig8_worm_propagation.curve_series`."""
+    return {
+        scenario: [r.curve for r in results]
+        for scenario, results in results_by_scenario.items()
+    }
+
+
+# -- fig5 ----------------------------------------------------------------------
+
+
+def run_fig5_parallel(
+    config: Fig5Config,
+    systems: Sequence[str] = FIG5_SYSTEMS,
+    lifetimes: Optional[Sequence[float]] = None,
+    workers: Optional[int] = None,
+) -> List[Fig5Row]:
+    """Drop-in parallel ``run_fig5``: the (system, lifetime, run) grid
+    fanned out cell-wise, averaged per (system, lifetime) in serial
+    order."""
+    lifetimes = (
+        list(lifetimes) if lifetimes is not None else list(config.mean_lifetimes_s)
+    )
+    cells: List[Cell] = [
+        (run_cell, (config, system, lifetime, run_index))
+        for system in systems
+        for lifetime in lifetimes
+        for run_index in range(config.runs)
+    ]
+    flat = map_cells(cells, workers)
+    rows: List[Fig5Row] = []
+    index = 0
+    for _system in systems:
+        for _lifetime in lifetimes:
+            rows.append(average_fig5_rows(flat[index : index + config.runs]))
+            index += config.runs
+    return rows
+
+
+# -- ablations -----------------------------------------------------------------
+
+
+def run_ablations_parallel(
+    config: Optional[WormScenarioConfig] = None,
+    until: float = 200.0,
+    type_bits: Sequence[int] = (1, 2, 3),
+    workers: Optional[int] = None,
+) -> Dict[str, Any]:
+    """The four ablation studies as independent cells.
+
+    Returns ``{"naive_finger", "availability", "load", "multitype"}``
+    with the same objects the serial :mod:`repro.experiments.ablations`
+    functions produce (``multitype`` is one result per entry of
+    ``type_bits``).
+    """
+    cfg = (
+        config
+        if config is not None
+        else WormScenarioConfig(num_nodes=3000, num_sections=128, seed=9)
+    )
+    cells: List[Cell] = [
+        (run_naive_finger_ablation, (cfg, until)),
+        (run_replication_availability, (cfg,)),
+        (run_load_comparison, ()),
+    ]
+    cells.extend(
+        (run_multitype_containment, (4000, 256, tb)) for tb in type_bits
+    )
+    results = map_cells(cells, workers)
+    return {
+        "naive_finger": results[0],
+        "availability": results[1],
+        "load": results[2],
+        "multitype": results[3:],
+    }

@@ -2,15 +2,20 @@
 
 Regenerate any paper figure (or the ablations) from the shell::
 
-    python -m repro.experiments.runner fig5 [--paper-scale]
+    python -m repro.experiments.runner fig5 [--paper-scale] [--workers N]
     python -m repro.experiments.runner fig6
     python -m repro.experiments.runner fig7
-    python -m repro.experiments.runner fig8 [--runs 10]
+    python -m repro.experiments.runner fig8 [--runs 10] [--workers N]
     python -m repro.experiments.runner resilience
-    python -m repro.experiments.runner ablations
+    python -m repro.experiments.runner ablations [--workers N]
 
 Scaled-down parameters by default (seconds to minutes); ``--paper-scale``
 switches to the paper's §7 configurations (minutes to an hour).
+
+``--workers N`` fans the independent (system/scenario, seed) cells of
+fig5/fig8/ablations across N processes (see
+:mod:`repro.experiments.parallel`); the default of 1 runs everything
+serially, in-process, and the output is bit-identical either way.
 """
 
 from __future__ import annotations
@@ -23,15 +28,15 @@ from pathlib import Path
 from ..analysis.export import write_rows_csv, write_series_csv
 from ..analysis.tables import format_table
 from ..worm import WormScenarioConfig
-from .ablations import (
-    run_load_comparison,
-    run_multitype_containment,
-    run_naive_finger_ablation,
-    run_replication_availability,
-)
 from .dht_ops import DhtExperimentConfig, run_dht_experiment
-from .fig5_lookup_latency import Fig5Config, run_fig5
-from .fig8_worm_propagation import Fig8Config, run_fig8
+from .fig5_lookup_latency import Fig5Config
+from .fig8_worm_propagation import Fig8Config, curve_series, summarise_fig8_runs
+from .parallel import (
+    fig8_curves,
+    run_ablations_parallel,
+    run_fig5_parallel,
+    run_fig8_cells,
+)
 from .resilience import ResilienceConfig, run_resilience
 
 
@@ -39,7 +44,7 @@ def _fig5(args) -> None:
     cfg = Fig5Config()
     if args.paper_scale:
         cfg = cfg.paper_scale()
-    rows = run_fig5(cfg)
+    rows = run_fig5_parallel(cfg, workers=args.workers)
     if args.csv:
         print(f"wrote {write_rows_csv(Path(args.csv) / 'fig5.csv', rows)}")
     print(format_table(
@@ -81,12 +86,12 @@ def _fig8(args) -> None:
     cfg = Fig8Config(runs=args.runs)
     if args.paper_scale:
         cfg = cfg.paper_scale()
-    rows = run_fig8(cfg)
+    grouped = run_fig8_cells(cfg, workers=args.workers)
+    rows = [summarise_fig8_runs(s, results) for s, results in grouped.items()]
     if args.csv:
         print(f"wrote {write_rows_csv(Path(args.csv) / 'fig8.csv', rows)}")
-        from .fig8_worm_propagation import averaged_curve_series
-
-        series = averaged_curve_series(cfg)
+        # Resample the curves already in hand instead of re-running.
+        series = curve_series(fig8_curves(grouped), cfg.horizons)
         print(f"wrote {write_series_csv(Path(args.csv) / 'fig8_curves.csv', series)}")
         from ..analysis.asciiplot import strip_chart
 
@@ -120,20 +125,20 @@ def _resilience(args) -> None:
 
 def _ablations(args) -> None:
     cfg = WormScenarioConfig(num_nodes=3000, num_sections=128, seed=9)
-    nf = run_naive_finger_ablation(cfg, until=200.0)
+    out = run_ablations_parallel(cfg, until=200.0, workers=args.workers)
+    nf = out["naive_finger"]
     print("finger displacement:")
     print(f"  displaced fingers : {nf.infected_with_displacement}/{nf.vulnerable} infected")
     print(f"  naive fingers     : {nf.infected_naive_fingers}/{nf.vulnerable} infected")
-    av = run_replication_availability(cfg)
+    av = out["availability"]
     print("replication vs type-wide outbreak:")
     print(f"  two sections   : {av.survivors_two_sections:.1%} keys readable")
     print(f"  single section : {av.survivors_single_section:.1%} keys readable")
-    load = run_load_comparison()
+    load = out["load"]
     print("ownership load (gini):"
           f" chord={load.chord.gini:.3f} verme={load.verme.gini:.3f}"
           f" (corner rule on {load.verme.predecessor_rule_fraction:.1%} of keys)")
-    for tb in (1, 2, 3):
-        mt = run_multitype_containment(type_bits=tb)
+    for mt in out["multitype"]:
         print(f"{mt.num_types} types: worm confined to "
               f"{mt.infected}/{mt.vulnerable} vulnerable nodes")
 
@@ -155,6 +160,10 @@ def main(argv=None) -> int:
     parser.add_argument("--csv", metavar="DIR", default=None,
                         help="also export the figure's data as CSV into DIR")
     parser.add_argument("--runs", type=int, default=2, help="fig8 repetitions")
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="processes for fig5/fig8/ablations cells (1 = serial, "
+             "bit-identical output either way)")
     args = parser.parse_args(argv)
     started = time.time()
     if args.figure == "fig5":

@@ -9,7 +9,7 @@ matrix forms defined here.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Protocol, runtime_checkable
+from typing import List, Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -44,7 +44,15 @@ class ConstantLatency:
 
 
 class MatrixLatency:
-    """Latency from a dense ``(n, n)`` matrix of one-way delays."""
+    """Latency from a dense ``(n, n)`` matrix of one-way delays.
+
+    Scalar indexing into a numpy array allocates a numpy scalar per
+    call, which dominates :meth:`latency` in message-heavy runs.  Rows
+    are therefore materialised lazily as plain Python lists (native
+    floats, O(1) lookups) and shared between :meth:`latency` and the
+    :meth:`row` view that :class:`~repro.net.network.Network` uses on
+    its send fast path.
+    """
 
     def __init__(self, matrix: np.ndarray) -> None:
         matrix = np.asarray(matrix, dtype=float)
@@ -54,9 +62,24 @@ class MatrixLatency:
             raise ValueError("latencies must be non-negative")
         self._matrix = matrix
         self.num_hosts = matrix.shape[0]
+        self._rows: List[Optional[List[float]]] = [None] * self.num_hosts
+
+    def row(self, a: int) -> Sequence[float]:
+        """One-way delays out of host ``a`` as a plain-float list.
+
+        The returned list is cached and shared; callers must not
+        mutate it.
+        """
+        row = self._rows[a]
+        if row is None:
+            row = self._rows[a] = self._matrix[a].tolist()
+        return row
 
     def latency(self, a: int, b: int) -> float:
-        return float(self._matrix[a, b])
+        row = self._rows[a]
+        if row is None:
+            row = self._rows[a] = self._matrix[a].tolist()
+        return row[b]
 
     @property
     def matrix(self) -> np.ndarray:
@@ -83,9 +106,20 @@ class MatrixBandwidth:
             raise ValueError("bandwidths must be positive")
         self._matrix = matrix
         self.num_hosts = matrix.shape[0]
+        self._rows: List[Optional[List[float]]] = [None] * self.num_hosts
+
+    def row(self, a: int) -> Sequence[float]:
+        """Bandwidths out of host ``a`` as a cached plain-float list."""
+        row = self._rows[a]
+        if row is None:
+            row = self._rows[a] = self._matrix[a].tolist()
+        return row
 
     def bandwidth(self, a: int, b: int) -> float:
-        return float(self._matrix[a, b])
+        row = self._rows[a]
+        if row is None:
+            row = self._rows[a] = self._matrix[a].tolist()
+        return row[b]
 
 
 @dataclass(frozen=True)

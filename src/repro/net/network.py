@@ -28,7 +28,7 @@ from ..faults.plan import FaultPlan
 from ..sim import Simulator
 from .accounting import ByteAccounting
 from .addressing import NodeAddress
-from .latency import BandwidthModel, LatencyModel, transfer_delay
+from .latency import BandwidthModel, LatencyModel
 from .message import Message
 
 Handler = Callable[[Message], None]
@@ -73,6 +73,15 @@ class Network:
         self._uplink_free_at: Dict[int, float] = {}
         self._endpoints: Dict[NodeAddress, Handler] = {}
         self.drops_by_cause: Dict[str, int] = {}
+        # Send fast path: matrix models expose a row view of plain
+        # Python floats (no per-call numpy-scalar churn); fall back to
+        # the scalar protocol methods for anything else.
+        self._latency_row = getattr(latency_model, "row", None)
+        self._bandwidth_row = (
+            getattr(bandwidth_model, "row", None)
+            if bandwidth_model is not None
+            else None
+        )
 
     # -- membership ----------------------------------------------------------
 
@@ -129,37 +138,46 @@ class Network:
         Bytes are accounted at send time (the sender pays for lost
         messages too, as on a real network).
         """
+        src_slot = src.host_slot
+        dst_slot = dst.host_slot
         msg = Message(src, dst, payload, size, category, op_tag)
-        self.accounting.record(category, msg.size, op_tag)
+        self.accounting.record(category, size, op_tag)
         if self.loss_rate and self._loss_rng.random() < self.loss_rate:
             self._drop(CAUSE_LOSS)
             return
         extra_latency = 0.0
         if self.fault_plan is not None:
-            verdict = self.fault_plan.verdict(
-                src.host_slot, dst.host_slot, self.sim.now
-            )
+            verdict = self.fault_plan.verdict(src_slot, dst_slot, self.sim.now)
             if not verdict.deliver:
                 self._drop(verdict.cause or "fault")
                 return
             extra_latency = verdict.extra_latency_s
-        latency = (
-            self.latency_model.latency(src.host_slot, dst.host_slot) + extra_latency
-        )
+        latency_row = self._latency_row
+        if latency_row is not None:
+            latency = latency_row(src_slot)[dst_slot] + extra_latency
+        else:
+            latency = self.latency_model.latency(src_slot, dst_slot) + extra_latency
         bandwidth = None
         if self.bandwidth_model is not None:
-            bandwidth = self.bandwidth_model.bandwidth(src.host_slot, dst.host_slot)
+            bandwidth_row = self._bandwidth_row
+            if bandwidth_row is not None:
+                bandwidth = bandwidth_row(src_slot)[dst_slot]
+            else:
+                bandwidth = self.bandwidth_model.bandwidth(src_slot, dst_slot)
         if self.contended_uplinks and bandwidth:
             # Serialise on the sender's uplink: this transfer starts
             # when the previous one has fully departed.
             now = self.sim.now
-            start = max(now, self._uplink_free_at.get(src.host_slot, now))
-            departure = start + msg.size / bandwidth
-            self._uplink_free_at[src.host_slot] = departure
-            self.sim.schedule(departure - now + latency, self._deliver, msg)
+            start = max(now, self._uplink_free_at.get(src_slot, now))
+            departure = start + size / bandwidth
+            self._uplink_free_at[src_slot] = departure
+            self.sim.call_after(departure - now + latency, self._deliver, msg)
             return
-        delay = transfer_delay(msg.size, latency, bandwidth)
-        self.sim.schedule(delay, self._deliver, msg)
+        # Delivery is fire-and-forget: use the kernel's no-handle path.
+        if bandwidth:
+            self.sim.call_after(latency + size / bandwidth, self._deliver, msg)
+        else:
+            self.sim.call_after(latency, self._deliver, msg)
 
     def _deliver(self, msg: Message) -> None:
         handler = self._endpoints.get(msg.dst)

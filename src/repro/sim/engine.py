@@ -8,13 +8,26 @@ Times are floats in *seconds* of simulated time.  Determinism is a hard
 requirement for reproducible experiments, so ties in the event queue are
 broken by insertion order and all randomness must come from
 :mod:`repro.sim.rng` streams seeded from the experiment seed.
+
+Performance notes (the kernel is the hot path of every experiment):
+
+* Heap entries are raw tuples — ``(time, seq, handle)`` for cancellable
+  events, ``(time, seq, callback, args)`` for the fire-and-forget
+  :meth:`Simulator.call_after` fast path.  ``seq`` is unique, so tuple
+  comparison never reaches the third element and the two shapes can
+  share one heap.
+* Cancellation is lazy (cancelled entries stay queued until popped),
+  but the queue is *compacted* — rebuilt without cancelled entries —
+  once more than half of a non-trivial queue is dead.  Long
+  timeout-heavy runs therefore cannot leak queue memory.
+* ``run()`` batch-pops timestamp ties: after the ``until`` horizon
+  check admits a timestamp, every tied entry is drained without
+  re-checking the horizon.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 
@@ -22,11 +35,9 @@ class SimulationError(RuntimeError):
     """Raised for invalid uses of the simulation kernel."""
 
 
-@dataclass(order=True)
-class _QueueEntry:
-    time: float
-    seq: int
-    handle: "EventHandle" = field(compare=False)
+#: Queues smaller than this are never compacted; rebuilding them costs
+#: more than the dead entries do.
+_MIN_COMPACT_SIZE = 64
 
 
 class EventHandle:
@@ -37,18 +48,30 @@ class EventHandle:
     timeout bookkeeping in protocol code straightforward.
     """
 
-    __slots__ = ("callback", "args", "time", "_cancelled", "_fired")
+    __slots__ = ("callback", "args", "time", "_cancelled", "_fired", "_sim")
 
-    def __init__(self, time: float, callback: Callable[..., None], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: tuple,
+        sim: "Optional[Simulator]" = None,
+    ):
         self.time = time
         self.callback = callback
         self.args = args
         self._cancelled = False
         self._fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from running; safe to call repeatedly."""
+        if self._cancelled:
+            return
+        was_pending = not self._fired
         self._cancelled = True
+        if was_pending and self._sim is not None:
+            self._sim._note_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -79,10 +102,14 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: list[_QueueEntry] = []
-        self._seq = itertools.count()
+        # Entries are (time, seq, EventHandle) or (time, seq, cb, args);
+        # seq is unique so comparisons stop at the second element.
+        self._queue: list[tuple] = []
+        self._next_seq = 0
         self._running = False
         self._events_processed = 0
+        self._live = 0
+        self._cancelled_in_queue = 0
 
     @property
     def now(self) -> float:
@@ -96,8 +123,20 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of entries still in the queue (including cancelled ones)."""
+        """Number of entries still in the queue, *including* cancelled
+        ones awaiting lazy removal.  This is a queue-occupancy metric
+        (what compaction looks at); use :attr:`pending_live` for the
+        number of events that will actually fire."""
         return len(self._queue)
+
+    @property
+    def pending_live(self) -> int:
+        """Number of scheduled events still due to fire (cancelled
+        entries excluded).  Maintained on schedule/cancel/pop, so it is
+        O(1) and unaffected by lazy cancellation."""
+        return self._live
+
+    # -- scheduling ----------------------------------------------------------
 
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any
@@ -120,9 +159,57 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
-        handle = EventHandle(time, callback, args)
-        heapq.heappush(self._queue, _QueueEntry(time, next(self._seq), handle))
+        handle = EventHandle(time, callback, args, self)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        heapq.heappush(self._queue, (time, seq, handle))
+        self._live += 1
         return handle
+
+    def call_after(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Fire-and-forget fast path: like :meth:`schedule` but returns
+        no handle and cannot be cancelled.
+
+        The only allocation is the heap entry itself (for the common
+        zero-arg callback, ``args`` is the interned empty tuple), which
+        makes this noticeably cheaper than :meth:`schedule` in
+        event-per-call hot loops — worm scans, message delivery —
+        where nothing ever cancels the event.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        heapq.heappush(self._queue, (self._now + delay, seq, callback, args))
+        self._live += 1
+
+    # -- lazy-cancellation compaction ----------------------------------------
+
+    def _note_cancel(self) -> None:
+        """A pending handle was cancelled: update counters and compact
+        the queue when more than half of it is dead."""
+        if self._live > 0:
+            self._live -= 1
+        self._cancelled_in_queue += 1
+        queue = self._queue
+        if len(queue) > _MIN_COMPACT_SIZE and 2 * self._cancelled_in_queue > len(
+            queue
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries (in place, so a
+        ``run()`` loop holding a reference keeps seeing the live heap)."""
+        queue = self._queue
+        queue[:] = [
+            entry for entry in queue if len(entry) == 4 or not entry[2]._cancelled
+        ]
+        heapq.heapify(queue)
+        self._cancelled_in_queue = 0
+
+    # -- running -------------------------------------------------------------
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Process events in time order.
@@ -136,22 +223,44 @@ class Simulator:
             raise SimulationError("Simulator.run() is not re-entrant")
         self._running = True
         processed = 0
+        queue = self._queue
+        heappop = heapq.heappop
         try:
-            while self._queue:
-                entry = self._queue[0]
-                if until is not None and entry.time > until:
+            while queue:
+                entry = queue[0]
+                entry_time = entry[0]
+                if until is not None and entry_time > until:
                     break
-                heapq.heappop(self._queue)
-                handle = entry.handle
-                if handle.cancelled:
-                    continue
-                self._now = entry.time
-                handle._fired = True
-                handle.callback(*handle.args)
-                self._events_processed += 1
-                processed += 1
-                if max_events is not None and processed >= max_events:
-                    return
+                heappop(queue)
+                # Batch-drain every entry tied at entry_time: the
+                # horizon check above already admitted the timestamp.
+                # The clock only advances when an event actually fires
+                # (popping a lazily-cancelled entry leaves it alone).
+                while True:
+                    if len(entry) == 3:
+                        handle = entry[2]
+                        if handle._cancelled:
+                            if self._cancelled_in_queue > 0:
+                                self._cancelled_in_queue -= 1
+                        else:
+                            self._now = entry_time
+                            handle._fired = True
+                            self._live -= 1
+                            handle.callback(*handle.args)
+                            self._events_processed += 1
+                            processed += 1
+                    else:
+                        self._now = entry_time
+                        self._live -= 1
+                        entry[2](*entry[3])
+                        self._events_processed += 1
+                        processed += 1
+                    if max_events is not None and processed >= max_events:
+                        return
+                    if queue and queue[0][0] == entry_time:
+                        entry = heappop(queue)
+                    else:
+                        break
             if until is not None and until > self._now:
                 self._now = until
         finally:
@@ -162,14 +271,23 @@ class Simulator:
 
         Returns ``True`` if an event ran, ``False`` if the queue was empty.
         """
-        while self._queue:
-            entry = heapq.heappop(self._queue)
-            handle = entry.handle
-            if handle.cancelled:
-                continue
-            self._now = entry.time
-            handle._fired = True
-            handle.callback(*handle.args)
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
+            if len(entry) == 3:
+                handle = entry[2]
+                if handle._cancelled:
+                    if self._cancelled_in_queue > 0:
+                        self._cancelled_in_queue -= 1
+                    continue
+                self._now = entry[0]
+                handle._fired = True
+                self._live -= 1
+                handle.callback(*handle.args)
+            else:
+                self._now = entry[0]
+                self._live -= 1
+                entry[2](*entry[3])
             self._events_processed += 1
             return True
         return False
@@ -177,3 +295,5 @@ class Simulator:
     def clear(self) -> None:
         """Drop all pending events (the clock is left where it is)."""
         self._queue.clear()
+        self._live = 0
+        self._cancelled_in_queue = 0

@@ -93,7 +93,7 @@ class _SectionHarvester:
 
     def start(self) -> None:
         self._stopped = False
-        self.sim.schedule(self.rng.expovariate(self.rate_per_s), self._fire)
+        self.sim.call_after(self.rng.expovariate(self.rate_per_s), self._fire)
 
     def stop(self) -> None:
         self._stopped = True
@@ -130,7 +130,7 @@ class _SectionHarvester:
         self.harvest_events += 1
         self.addresses_harvested += len(targets)
         self.worm.add_targets(self.impersonator_index, targets)
-        self.sim.schedule(self.rng.expovariate(self.rate_per_s), self._fire)
+        self.sim.call_after(self.rng.expovariate(self.rate_per_s), self._fire)
 
 
 class FastVerDiHarvester(_SectionHarvester):

@@ -22,6 +22,13 @@ from ..sim import Simulator
 from .knowledge import KnowledgeModel
 from .model import InfectionCurve, WormParams, WormState
 
+# Enum attribute lookups are surprisingly costly in the per-scan hot
+# loop; bind the states once at module level.
+_NOT_INFECTED = WormState.NOT_INFECTED
+_SCANNING = WormState.SCANNING
+_INFECTING = WormState.INFECTING
+_INACTIVE = WormState.INACTIVE
+
 
 class WormSimulation:
     """One propagation run over a fixed population."""
@@ -49,6 +56,13 @@ class WormSimulation:
         self._idle: Set[int] = set()
         self.scans_performed = 0
         self.infections_completed = 0
+        # Hot-loop constants, hoisted out of the per-event path.  Worm
+        # events are fire-and-forget, so scheduling goes through the
+        # kernel's no-handle fast path.
+        self._scan_interval = params.scan_interval_s
+        self._infect_time = params.infect_time_s
+        self._activation_delay = params.activation_delay_s
+        self._call_after = sim.call_after
 
     # -- seeding and harvest injection ------------------------------------------
 
@@ -57,7 +71,7 @@ class WormSimulation:
         if self.state[index] is not WormState.NOT_INFECTED:
             return
         self._mark_infected(index)
-        self.sim.schedule(delay_s, self._activate, index)
+        self._call_after(delay_s, self._activate, index)
 
     def add_targets(self, index: int, targets: Sequence[int]) -> None:
         """Inject harvested addresses into ``index``'s worm instance."""
@@ -74,7 +88,7 @@ class WormSimulation:
             added = True
         if added and index in self._idle:
             self._idle.discard(index)
-            self.sim.schedule(self.params.scan_interval_s, self._scan, index)
+            self._call_after(self._scan_interval, self._scan, index)
 
     def is_infected(self, index: int) -> bool:
         return self.state[index] is not WormState.NOT_INFECTED
@@ -82,19 +96,19 @@ class WormSimulation:
     # -- state machine ----------------------------------------------------------
 
     def _mark_infected(self, index: int) -> None:
-        self.state[index] = WormState.INACTIVE
+        self.state[index] = _INACTIVE
         self.infected_count += 1
         self.curve.record(self.sim.now, self.infected_count)
 
     def _activate(self, index: int) -> None:
-        self.state[index] = WormState.SCANNING
+        self.state[index] = _SCANNING
         self.add_targets(index, self.knowledge.targets_of(index))
         queue = self._queues.get(index)
         if not queue:
             self._idle.add(index)
             return
         self._idle.discard(index)
-        self.sim.schedule(self.params.scan_interval_s, self._scan, index)
+        self._call_after(self._scan_interval, self._scan, index)
 
     def _scan(self, index: int) -> None:
         queue = self._queues.get(index)
@@ -103,21 +117,20 @@ class WormSimulation:
             return
         target = queue.popleft()
         self.scans_performed += 1
-        if self.vulnerable[target] and self.state[target] is WormState.NOT_INFECTED:
-            self.state[index] = WormState.INFECTING
-            self.sim.schedule(
-                self.params.infect_time_s, self._infection_done, index, target
-            )
+        state = self.state
+        if self.vulnerable[target] and state[target] is _NOT_INFECTED:
+            state[index] = _INFECTING
+            self._call_after(self._infect_time, self._infection_done, index, target)
             return
-        self.sim.schedule(self.params.scan_interval_s, self._scan, index)
+        self._call_after(self._scan_interval, self._scan, index)
 
     def _infection_done(self, attacker: int, target: int) -> None:
-        if self.state[target] is WormState.NOT_INFECTED:
+        if self.state[target] is _NOT_INFECTED:
             self._mark_infected(target)
             self.infections_completed += 1
-            self.sim.schedule(self.params.activation_delay_s, self._activate, target)
-        self.state[attacker] = WormState.SCANNING
-        self.sim.schedule(self.params.scan_interval_s, self._scan, attacker)
+            self._call_after(self._activation_delay, self._activate, target)
+        self.state[attacker] = _SCANNING
+        self._call_after(self._scan_interval, self._scan, attacker)
 
     # -- running -------------------------------------------------------------------
 

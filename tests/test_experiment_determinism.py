@@ -66,6 +66,39 @@ def test_resilience_cell_deterministic():
     assert a == b  # frozen rows compare field-by-field
 
 
+def test_fig8_workers_bit_identical_to_serial():
+    """--workers 4 and serial fig8 runs must produce identical
+    infection curves for the same seed (ISSUE 2 determinism guard)."""
+    from repro.experiments import Fig8Config, run_fig8_cells
+
+    cfg = Fig8Config(
+        scenario_config=WormScenarioConfig(num_nodes=300, num_sections=16, seed=5),
+        runs=2,
+        horizons={"chord": 30.0, "verme-fast": 30.0},
+    )
+    scenarios = ("chord", "verme-fast")
+    serial = run_fig8_cells(cfg, scenarios, workers=1)
+    parallel = run_fig8_cells(cfg, scenarios, workers=4)
+    assert list(serial) == list(parallel)
+    for scenario in scenarios:
+        assert [r.curve.points for r in serial[scenario]] == [
+            r.curve.points for r in parallel[scenario]
+        ]
+
+
+def test_fig5_workers_bit_identical_to_serial():
+    from repro.experiments import run_fig5_parallel
+
+    cfg = Fig5Config(num_nodes=30, duration_s=120.0, warmup_s=30.0, runs=2)
+    serial = run_fig5_parallel(
+        cfg, systems=("chord-recursive",), lifetimes=(3600.0,), workers=1
+    )
+    parallel = run_fig5_parallel(
+        cfg, systems=("chord-recursive",), lifetimes=(3600.0,), workers=2
+    )
+    assert serial == parallel
+
+
 def test_resilience_seed_changes_results():
     from repro.experiments import ResilienceConfig, run_resilience_cell
 

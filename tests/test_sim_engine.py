@@ -239,6 +239,80 @@ def test_callback_cancels_later_event_at_same_timestamp():
     assert fired == ["victim", "killer"]
 
 
+def test_pending_live_excludes_cancelled():
+    sim = Simulator()
+    handles = [sim.schedule(1.0, lambda: None) for _ in range(3)]
+    handles[0].cancel()
+    # The cancelled entry stays queued (lazy removal) but is not live.
+    assert sim.pending_events == 3
+    assert sim.pending_live == 2
+
+
+def test_pending_live_tracks_fires():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run(max_events=1)
+    assert sim.pending_live == 1
+    sim.run()
+    assert sim.pending_live == 0
+    assert sim.pending_events == 0
+
+
+def test_compaction_bounds_queue_growth():
+    """Cancelling most of a large queue rebuilds it: the cancelled
+    entries must not linger until their (possibly far-future) times."""
+    sim = Simulator()
+    handles = [sim.schedule(1e6 + i, lambda: None) for i in range(1000)]
+    for handle in handles[:900]:
+        handle.cancel()
+    assert sim.pending_live == 100
+    # >50% of the queue was cancelled: compaction kicked in.
+    assert sim.pending_events < 500
+    fired = []
+    sim.schedule(0.5, fired.append, "live")
+    sim.run(until=1.0)
+    assert fired == ["live"]
+
+
+def test_call_after_fires_fifo_with_schedule():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    assert sim.call_after(1.0, fired.append, "b") is None
+    sim.schedule(1.0, fired.append, "c")
+    sim.call_after(1.0, fired.append, "d")
+    sim.run()
+    assert fired == ["a", "b", "c", "d"]
+
+
+def test_call_after_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().call_after(-0.1, lambda: None)
+
+
+def test_call_after_zero_arg_and_step():
+    sim = Simulator()
+    fired = []
+    sim.call_after(1.0, lambda: fired.append("x"))
+    assert sim.pending_live == 1
+    assert sim.step()
+    assert fired == ["x"]
+    assert sim.pending_live == 0
+
+
+def test_cancel_after_clear_keeps_counters_sane():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.clear()
+    handle.cancel()
+    assert sim.pending_live == 0
+    sim.schedule(1.0, lambda: None)
+    assert sim.pending_live == 1
+    sim.run()
+    assert sim.pending_live == 0
+
+
 def test_cancel_same_timestamp_from_periodic_chain():
     """Cancelling inside a same-tick cascade leaves the queue usable."""
     sim = Simulator()

@@ -137,3 +137,38 @@ def test_concurrent_attackers_single_infection():
 def test_scans_counted():
     worm = run_worm({0: [1, 2, 3], 1: [], 2: [], 3: []}, [True, False, False, True])
     assert worm.scans_performed == 3
+
+
+def test_infecting_attacker_loses_race_returns_to_scanning():
+    """An attacker mid-INFECTING whose target is infected by a third
+    node first must return to SCANNING without double-counting
+    ``infections_completed`` or re-recording the curve."""
+    sim = Simulator()
+    worm = WormSimulation(
+        sim, 4, [True] * 4, FixedKnowledge({0: [2], 1: [2, 3], 2: [], 3: []})
+    )
+    # Two seeds race for node 2: node 0 (seeded first, so its
+    # _infection_done fires first among ties) wins; node 1 loses.
+    worm.seed(0)
+    worm.seed(1)
+
+    # Both scan at t=0.01 and schedule infection completion at t=0.11.
+    sim.run(until=0.105)
+    assert worm.state[0] is WormState.INFECTING
+    assert worm.state[1] is WormState.INFECTING
+    assert worm.infections_completed == 0
+
+    # At t=0.11 node 0 completes; node 1 finds 2 already infected.
+    sim.run(until=0.115)
+    assert worm.state[2] is not WormState.NOT_INFECTED
+    assert worm.infections_completed == 1          # not double-counted
+    assert worm.infected_count == 3                # 0, 1, 2
+    assert worm.state[1] is WormState.SCANNING     # loser resumed scanning
+
+    # The loser keeps working through its queue: it infects node 3.
+    sim.run(until=10.0)
+    assert worm.infected_count == 4
+    assert worm.infections_completed == 2          # 2 and 3, once each
+    # The curve records each infection exactly once, monotonically.
+    counts = [c for _t, c in worm.curve.points]
+    assert counts == [1, 2, 3, 4]
