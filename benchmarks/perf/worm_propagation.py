@@ -1,15 +1,26 @@
-"""100,000-node worm-propagation benchmark (``BENCH_worm100k.json``).
+"""Worm-propagation benchmarks (``BENCH_worm100k.json`` / ``BENCH_worm1m.json``).
 
 Runs the paper's §7.3 ``chord`` scenario — the worst case for event
-volume, since the worm sweeps the whole population — at full 100k-node
-scale and reports kernel events/s over the complete run, population
-build included in wall-clock (the build is part of what an experiment
-pays).
+volume, since the worm sweeps the whole population — and reports
+events/s over the complete run, population build included in wall-clock
+(the build is part of what an experiment pays).  ``events`` counts
+kernel events plus, for the columnar engine, the logical worm events
+drained inside batch ticks, so the number is comparable across engines
+and across records taken before and after the columnar rewrite.
+
+Presets:
+
+* ``100k`` — the paper-scale 100,000-node run (``BENCH_worm100k.json``);
+* ``1m`` — a 1,000,000-node run (``BENCH_worm1m.json``), the headline
+  of the columnar engine: it must finish in less wall-clock than the
+  legacy engine's committed 100k record.
 
 Usage::
 
-    python benchmarks/perf/worm_propagation.py             # 100k nodes
-    python benchmarks/perf/worm_propagation.py --smoke     # 5k, for CI
+    python benchmarks/perf/worm_propagation.py                 # 100k preset
+    python benchmarks/perf/worm_propagation.py --preset 1m     # 1M nodes
+    python benchmarks/perf/worm_propagation.py --smoke         # 5k, for CI
+    python benchmarks/perf/worm_propagation.py --engine legacy # reference
 """
 
 from __future__ import annotations
@@ -19,36 +30,49 @@ import time
 
 import perf_common  # noqa: E402  (sets sys.path for the repro import)
 
-from repro.sim import Simulator  # noqa: E402
-from repro.worm import WormScenarioConfig, run_scenario  # noqa: E402
+from repro.worm import ENGINES, WormScenarioConfig, run_scenario  # noqa: E402
 
 SEED = 7
-HORIZON_S = 300.0  # chord saturates 100k nodes in ~32 s; generous margin
+HORIZON_S = 300.0  # chord saturates even 1M nodes in ~50 s; generous margin
+
+PRESETS = {
+    # name -> (record name, nodes, sections)
+    "100k": ("worm100k", 100_000, 4096),
+    "1m": ("worm1m", 1_000_000, 4096),
+}
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--nodes", type=int, default=100_000)
-    parser.add_argument("--sections", type=int, default=4096)
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="100k")
+    parser.add_argument("--nodes", type=int, default=None,
+                        help="override the preset's population size")
+    parser.add_argument("--sections", type=int, default=None,
+                        help="override the preset's section count")
+    parser.add_argument("--engine", choices=sorted(ENGINES), default="columnar")
     parser.add_argument("--smoke", action="store_true",
                         help="5000 nodes / 256 sections, for CI")
     parser.add_argument("--out", default=None,
-                        help="output path (default BENCH_worm100k.json at repo root)")
+                        help="output path (default BENCH_<name>.json at repo root)")
     args = parser.parse_args(argv)
-    nodes = 5000 if args.smoke else args.nodes
-    sections = 256 if args.smoke else args.sections
+    name, nodes, sections = PRESETS[args.preset]
+    if args.nodes is not None:
+        nodes = args.nodes
+    if args.sections is not None:
+        sections = args.sections
+    if args.smoke:
+        nodes, sections = 5000, 256
 
     config = WormScenarioConfig(
-        num_nodes=nodes, num_sections=sections, seed=SEED
+        num_nodes=nodes, num_sections=sections, seed=SEED, engine=args.engine
     )
-    sim = Simulator()
     start = time.perf_counter()
-    result = run_scenario("chord", config, until=HORIZON_S, sim=sim)
+    result = run_scenario("chord", config, until=HORIZON_S)
     wall = time.perf_counter() - start
-    events = sim.events_processed
+    events = result.events
 
     record = perf_common.bench_record(
-        name="worm100k",
+        name=name,
         wall_clock_s=wall,
         events=events,
         seed=SEED,
@@ -57,6 +81,7 @@ def main(argv=None) -> int:
             "num_nodes": nodes,
             "num_sections": sections,
             "horizon_s": HORIZON_S,
+            "engine": args.engine,
         },
         metrics={
             "final_infected": float(result.final_infected),
@@ -64,8 +89,9 @@ def main(argv=None) -> int:
         },
     )
     path = perf_common.write_record(record, args.out)
-    print(f"worm {nodes} nodes: {wall:.2f}s wall, "
+    print(f"worm {nodes} nodes [{args.engine}]: {wall:.2f}s wall, "
           f"{events:,} events ({record['events_per_s']:,.0f}/s), "
+          f"peak RSS {record['peak_rss_kib']:,} KiB, "
           f"{result.final_infected}/{result.vulnerable_count} infected -> {path}")
     return 0
 

@@ -25,6 +25,8 @@ entry point.
 from __future__ import annotations
 
 import multiprocessing
+import resource
+import sys
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..worm.model import InfectionCurve
@@ -47,10 +49,40 @@ from .records import Fig5Row, Fig8Row
 #: A cell: (module-level function, argument tuple).
 Cell = Tuple[Callable[..., Any], Tuple[Any, ...]]
 
+#: Peak RSS (KiB) per executing process of the most recent
+#: :func:`map_cells` call, keyed by process name (``MainProcess`` for
+#: the serial path).  Purely observational — results are unaffected.
+_last_worker_rss_kib: Dict[str, int] = {}
+
+
+def _peak_rss_kib() -> int:
+    """High-water resident set size of this process (KiB on Linux)."""
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # ru_maxrss is bytes on macOS
+        rss //= 1024
+    return int(rss)
+
 
 def _run_cell(cell: Cell) -> Any:
     fn, args = cell
     return fn(*args)
+
+
+def _run_cell_rss(cell: Cell) -> Tuple[Any, str, int]:
+    """Run one cell in a pool worker and report the worker's peak RSS."""
+    fn, args = cell
+    result = fn(*args)
+    return result, multiprocessing.current_process().name, _peak_rss_kib()
+
+
+def last_worker_rss_kib() -> Dict[str, int]:
+    """Per-process peak RSS of the most recent :func:`map_cells` sweep."""
+    return dict(_last_worker_rss_kib)
+
+
+def last_peak_rss_kib() -> Optional[int]:
+    """Max peak RSS (KiB) across the most recent sweep's processes."""
+    return max(_last_worker_rss_kib.values()) if _last_worker_rss_kib else None
 
 
 def map_cells(cells: Sequence[Cell], workers: Optional[int] = None) -> List[Any]:
@@ -60,12 +92,26 @@ def map_cells(cells: Sequence[Cell], workers: Optional[int] = None) -> List[Any]
     or there is at most one cell; otherwise a ``multiprocessing`` pool
     of ``min(workers, len(cells))`` processes.  ``chunksize=1`` keeps
     long cells from pinning a worker behind a prefetched batch.
+
+    Each executing process's peak RSS is recorded as a side effect
+    (readable via :func:`last_worker_rss_kib` / :func:`last_peak_rss_kib`
+    until the next sweep overwrites it).
     """
+    _last_worker_rss_kib.clear()
     if workers is None or workers <= 1 or len(cells) <= 1:
-        return [fn(*args) for fn, args in cells]
+        results = [fn(*args) for fn, args in cells]
+        _last_worker_rss_kib[multiprocessing.current_process().name] = (
+            _peak_rss_kib()
+        )
+        return results
     pool_size = min(workers, len(cells))
     with multiprocessing.Pool(pool_size) as pool:
-        return pool.map(_run_cell, cells, chunksize=1)
+        triples = pool.map(_run_cell_rss, cells, chunksize=1)
+    for _result, worker, rss in triples:
+        prev = _last_worker_rss_kib.get(worker, 0)
+        if rss > prev:
+            _last_worker_rss_kib[worker] = rss
+    return [result for result, _worker, _rss in triples]
 
 
 # -- fig8 ----------------------------------------------------------------------

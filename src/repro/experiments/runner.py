@@ -23,16 +23,19 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 
 from ..analysis.export import write_rows_csv, write_series_csv
 from ..analysis.tables import format_table
-from ..worm import WormScenarioConfig
+from ..worm import ENGINES, WormScenarioConfig
 from .dht_ops import DhtExperimentConfig, run_dht_experiment
 from .fig5_lookup_latency import Fig5Config
 from .fig8_worm_propagation import Fig8Config, curve_series, summarise_fig8_runs
 from .parallel import (
     fig8_curves,
+    last_peak_rss_kib,
+    last_worker_rss_kib,
     run_ablations_parallel,
     run_fig5_parallel,
     run_fig8_cells,
@@ -86,6 +89,11 @@ def _fig8(args) -> None:
     cfg = Fig8Config(runs=args.runs)
     if args.paper_scale:
         cfg = cfg.paper_scale()
+    if args.engine != cfg.scenario_config.engine:
+        cfg = replace(
+            cfg,
+            scenario_config=replace(cfg.scenario_config, engine=args.engine),
+        )
     grouped = run_fig8_cells(cfg, workers=args.workers)
     rows = [summarise_fig8_runs(s, results) for s, results in grouped.items()]
     if args.csv:
@@ -161,22 +169,48 @@ def main(argv=None) -> int:
                         help="also export the figure's data as CSV into DIR")
     parser.add_argument("--runs", type=int, default=2, help="fig8 repetitions")
     parser.add_argument(
+        "--engine", choices=sorted(ENGINES), default="columnar",
+        help="fig8 worm engine (identical curves; legacy = per-event "
+             "reference implementation)")
+    parser.add_argument(
         "--workers", type=int, default=1, metavar="N",
         help="processes for fig5/fig8/ablations cells (1 = serial, "
              "bit-identical output either way)")
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and write profile_<figure>.pstats "
+             "(profiles this process only; combine with --workers 1)")
     args = parser.parse_args(argv)
     started = time.time()
-    if args.figure == "fig5":
-        _fig5(args)
-    elif args.figure in ("fig6", "fig7"):
-        _fig67(args, args.figure)
-    elif args.figure == "fig8":
-        _fig8(args)
-    elif args.figure == "resilience":
-        _resilience(args)
+    dispatch = {
+        "fig5": lambda: _fig5(args),
+        "fig6": lambda: _fig67(args, "fig6"),
+        "fig7": lambda: _fig67(args, "fig7"),
+        "fig8": lambda: _fig8(args),
+        "resilience": lambda: _resilience(args),
+        "ablations": lambda: _ablations(args),
+    }[args.figure]
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            dispatch()
+        finally:
+            profiler.disable()
+            pstats_path = f"profile_{args.figure}.pstats"
+            profiler.dump_stats(pstats_path)
+            print(f"\nprofile written to {pstats_path} "
+                  f"(inspect: python -m pstats {pstats_path})")
     else:
-        _ablations(args)
-    print(f"\n[{args.figure} done in {time.time() - started:.1f}s]")
+        dispatch()
+    summary = f"\n[{args.figure} done in {time.time() - started:.1f}s"
+    peak = last_peak_rss_kib()
+    if peak is not None:
+        summary += (f", peak worker RSS {peak:,} KiB"
+                    f" across {len(last_worker_rss_kib())} process(es)")
+    print(summary + "]")
     return 0
 
 

@@ -19,12 +19,22 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
+
+try:  # numpy accelerates the batched knowledge-extraction path
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    np = None  # type: ignore[assignment]
 
 from ..chord.state import NodeInfo
 from ..ids.idspace import IdSpace
 from ..ids.sections import VermeIdLayout
+from ..net.addressing import NodeAddress
 from ..verme.fingers import verme_finger_target
+
+#: Row batches above this are processed in chunks by the vectorised
+#: knowledge path so the (rows x candidates^2) dedup mask stays small.
+_BATCH_CHUNK = 16384
 
 
 @dataclass(frozen=True)
@@ -42,13 +52,48 @@ class StaticOverlay:
         if not infos:
             raise ValueError("an overlay needs at least one node")
         self.space = space
-        self.infos: List[NodeInfo] = sorted(infos, key=lambda i: i.node_id)
-        self.ids: List[int] = [i.node_id for i in self.infos]
+        self._infos: Optional[List[NodeInfo]] = sorted(
+            infos, key=lambda i: i.node_id
+        )
+        self.ids: List[int] = [i.node_id for i in self._infos]
         if len(set(self.ids)) != len(self.ids):
             raise ValueError("duplicate node ids in overlay population")
+        self._ids_np = None
+
+    @classmethod
+    def from_ids(cls, space: IdSpace, ids: Sequence[int]) -> "StaticOverlay":
+        """Build an overlay from bare ids without materialising
+        :class:`NodeInfo` objects.
+
+        At million-node scale the per-node ``NodeInfo``/``NodeAddress``
+        dataclasses dominate construction cost and RSS; the worm
+        simulations only ever consult ``ids`` and index arithmetic, so
+        :attr:`infos` stays lazy (materialised on first access, with
+        addresses equal to the sorted position).
+        """
+        if not ids:
+            raise ValueError("an overlay needs at least one node")
+        self = object.__new__(cls)
+        self.space = space
+        sorted_ids = sorted(ids)
+        for a, b in zip(sorted_ids, sorted_ids[1:]):
+            if a == b:
+                raise ValueError("duplicate node ids in overlay population")
+        self.ids = sorted_ids
+        self._infos = None
+        self._ids_np = None
+        return self
+
+    @property
+    def infos(self) -> List[NodeInfo]:
+        if self._infos is None:
+            self._infos = [
+                NodeInfo(nid, NodeAddress(i)) for i, nid in enumerate(self.ids)
+            ]
+        return self._infos
 
     def __len__(self) -> int:
-        return len(self.infos)
+        return len(self.ids)
 
     # -- basic geometry --------------------------------------------------------
 
@@ -93,11 +138,12 @@ class StaticOverlay:
     def maintained_finger_indices(self, index: int) -> List[int]:
         """Finger numbers not covered by the node's first successor."""
         node_id = self.ids[index]
-        succ = self.infos[(index + 1) % len(self.infos)]
-        span = self.space.distance(node_id, succ.node_id)
+        succ_id = self.ids[(index + 1) % len(self.ids)]
+        span = self.space.distance(node_id, succ_id)
         if span == 0:  # single-node overlay
             return []
-        return [k for k in range(self.space.bits) if (1 << k) > span]
+        # 2**k > span  <=>  k >= span.bit_length(), so skip the dead ks.
+        return list(range(span.bit_length(), self.space.bits))
 
     def finger_table(self, index: int) -> dict[int, NodeInfo]:
         """Converged finger table of the node at ``index``."""
@@ -119,10 +165,16 @@ class StaticOverlay:
 
     def replica_group(self, key: int, count: int) -> List[NodeInfo]:
         """The nodes a DHT should place ``count`` replicas of ``key`` on."""
+        infos = self.infos
+        return [infos[i] for i in self.replica_group_indices(key, count)]
+
+    def replica_group_indices(self, key: int, count: int) -> List[int]:
+        """Index form of :meth:`replica_group` (same nodes, same order)
+        that never materialises ``NodeInfo`` objects."""
         start = self.owner(key).index
-        n = len(self.infos)
+        n = len(self.ids)
         count = min(count, n)
-        return [self.infos[(start + j) % n] for j in range(count)]
+        return [(start + j) % n for j in range(count)]
 
     def routing_entries(
         self, index: int, num_successors: int, num_predecessors: int
@@ -137,6 +189,158 @@ class StaticOverlay:
             seen[info.node_id] = info
         return list(seen.values())
 
+    def routing_target_indices(
+        self, index: int, num_successors: int, num_predecessors: int
+    ) -> List[int]:
+        """Index-form :meth:`routing_entries`: the same entries in the
+        same first-occurrence order (successors, then predecessors, then
+        fingers by ascending ``k``), but as overlay indices with no
+        ``NodeInfo`` materialisation or ``index_of`` lookups.  This is
+        the worm-knowledge hot path.
+        """
+        ids = self.ids
+        n = len(ids)
+        out: List[int] = []
+        seen = set()
+        for j in range(1, min(num_successors, n - 1) + 1):
+            i = (index + j) % n
+            if i not in seen:
+                seen.add(i)
+                out.append(i)
+        for j in range(1, min(num_predecessors, n - 1) + 1):
+            i = (index - j) % n
+            if i not in seen:
+                seen.add(i)
+                out.append(i)
+        node_id = ids[index]
+        finger_target = self.finger_target
+        owner = self.owner
+        allowed = self._finger_entry_allowed
+        for k in self.maintained_finger_indices(index):
+            oi = owner(finger_target(node_id, k)).index
+            owner_id = ids[oi]
+            if owner_id != node_id and oi not in seen and allowed(node_id, owner_id):
+                seen.add(oi)
+                out.append(oi)
+        return out
+
+    def _ids_numpy(self):
+        """The sorted id list as a cached ``uint64`` array (ids fit by
+        the ``bits <= 64`` guard of the callers)."""
+        arr = self._ids_np
+        if arr is None:
+            arr = np.array(self.ids, dtype=np.uint64)
+            self._ids_np = arr
+        return arr
+
+    def _can_batch_routing(self) -> bool:
+        """The vectorised path hard-codes plain-Chord semantics, so it
+        only runs when no subclass overrides them."""
+        cls = type(self)
+        return (
+            np is not None
+            and self.space.bits <= 64
+            and cls.owner is StaticOverlay.owner
+            and cls.finger_target is StaticOverlay.finger_target
+            and cls._finger_entry_allowed is StaticOverlay._finger_entry_allowed
+            and cls.maintained_finger_indices is StaticOverlay.maintained_finger_indices
+        )
+
+    def routing_target_indices_many(
+        self, indices: Sequence[int], num_successors: int, num_predecessors: int
+    ):
+        """Batched :meth:`routing_target_indices` over many nodes.
+
+        Returns ``(flat, counts)`` where ``flat`` is the concatenation
+        of each node's target list (row-major, exact per-node order
+        preserved) and ``counts[r]`` is the length of row ``r``.  On
+        plain Chord overlays the whole batch is vectorised with numpy
+        (``searchsorted`` for finger owners, a candidate matrix with a
+        triangular equality mask for first-occurrence dedup); subclasses
+        with different ownership/finger rules fall back to the scalar
+        path per node.
+        """
+        if not self._can_batch_routing():
+            flat: List[int] = []
+            counts: List[int] = []
+            for index in indices:
+                row = self.routing_target_indices(
+                    index, num_successors, num_predecessors
+                )
+                flat.extend(row)
+                counts.append(len(row))
+            return flat, counts
+
+        ids_np = self._ids_numpy()
+        n = len(ids_np)
+        bits = self.space.bits
+        idx_all = np.asarray(indices, dtype=np.int64)
+        cs = min(num_successors, n - 1)
+        cp = min(num_predecessors, n - 1)
+        flat_parts = []
+        count_parts = []
+        for lo in range(0, idx_all.shape[0], _BATCH_CHUNK):
+            idx = idx_all[lo : lo + _BATCH_CHUNK]
+            m = idx.shape[0]
+            node_ids = ids_np[idx]
+            # Successor span decides which fingers each node maintains;
+            # uint64 wraparound then masking gives distance mod 2**bits.
+            spans = ids_np[(idx + 1) % n] - node_ids
+            if bits < 64:
+                spans &= np.uint64((1 << bits) - 1)
+            kmin = int(spans.min()).bit_length() if m else bits
+            nk = max(0, bits - kmin)
+            cols = cs + cp + nk
+            cand = np.full((m, cols), -1, dtype=np.int64)
+            if cs:
+                cand[:, :cs] = (
+                    idx[:, None] + np.arange(1, cs + 1, dtype=np.int64)
+                ) % n
+            if cp:
+                cand[:, cs : cs + cp] = (
+                    idx[:, None] - np.arange(1, cp + 1, dtype=np.int64)
+                ) % n
+            oi = None
+            if nk:
+                # All finger owners in one searchsorted over the
+                # (m, nk) target matrix.
+                steps = np.uint64(1) << np.arange(kmin, bits, dtype=np.uint64)
+                active = spans[:, None] < steps[None, :]  # 2**k > span
+                targets = node_ids[:, None] + steps[None, :]
+                if bits < 64:
+                    targets &= np.uint64((1 << bits) - 1)
+                oi = ids_np.searchsorted(targets.ravel()).reshape(m, nk) % n
+                ok = active & (ids_np[oi] != node_ids[:, None])
+                cand[:, cs + cp :] = np.where(ok, oi, -1)
+            if cp == 0:
+                # Structure-aware dedup, O(m*cols): successors are
+                # distinct by construction, so only fingers need checks.
+                # A finger is a duplicate iff it is shadowed by the
+                # successor list (ring offset <= cs) or equals the
+                # previous finger column — finger owners move clockwise
+                # monotonically by less than half the ring (offsets are
+                # 2**k <= 2**(bits-1)), so equal owners are always in
+                # adjacent maintained columns.
+                keep = np.ones((m, cols), dtype=bool)
+                if nk:
+                    fkeep = cand[:, cs:] >= 0
+                    fkeep &= ((oi - idx[:, None]) % n) > cs
+                    fkeep[:, 1:] &= oi[:, 1:] != oi[:, :-1]
+                    keep[:, cs:] = fkeep
+            else:
+                # General first-occurrence dedup: drop a candidate equal
+                # to any earlier column (lower-triangular equality).
+                eq = cand[:, :, None] == cand[:, None, :]
+                dup = (eq & np.tril(np.ones((cols, cols), dtype=bool), -1)).any(
+                    axis=2
+                )
+                keep = (cand >= 0) & ~dup
+            flat_parts.append(cand[keep])
+            count_parts.append(keep.sum(axis=1))
+        if not flat_parts:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        return np.concatenate(flat_parts), np.concatenate(count_parts)
+
 
 class VermeStaticOverlay(StaticOverlay):
     """Verme's ownership (section-bounded with the predecessor corner
@@ -147,6 +351,15 @@ class VermeStaticOverlay(StaticOverlay):
     ) -> None:
         super().__init__(layout.space, infos)
         self.layout = layout
+
+    @classmethod
+    def from_ids(
+        cls, layout: VermeIdLayout, ids: Sequence[int]
+    ) -> "VermeStaticOverlay":
+        """Lazy-``infos`` constructor (see :meth:`StaticOverlay.from_ids`)."""
+        self = StaticOverlay.from_ids.__func__(cls, layout.space, ids)
+        self.layout = layout
+        return self
 
     def owner(self, key: int) -> OwnerDecision:
         """The key's successor if it lies in the key's section, else the
@@ -182,29 +395,32 @@ class VermeStaticOverlay(StaticOverlay):
         key's section, then counter-clockwise (the paper's "replicate
         toward the predecessors" corner rule); never leaves the section.
         """
+        infos = self.infos
+        return [infos[i] for i in self.replica_group_indices(key, count)]
+
+    def replica_group_indices(self, key: int, count: int) -> List[int]:
+        ids = self.ids
         decision = self.owner(key)
-        owner = self.infos[decision.index]
+        owner_index = decision.index
         section = self.layout.section_index(key)
-        if self.layout.section_index(owner.node_id) != section:
+        if self.layout.section_index(ids[owner_index]) != section:
             # Degenerate: the key's section is empty; only the ring
             # predecessor can own it.
-            return [owner]
-        n = len(self.infos)
-        group = [owner]
-        j = decision.index
+            return [owner_index]
+        n = len(ids)
+        group = [owner_index]
+        j = owner_index
         while len(group) < count:
             j = (j + 1) % n
-            info = self.infos[j]
-            if info is owner or self.layout.section_index(info.node_id) != section:
+            if j == owner_index or self.layout.section_index(ids[j]) != section:
                 break
-            group.append(info)
-        j = decision.index
+            group.append(j)
+        j = owner_index
         while len(group) < count:
             j = (j - 1) % n
-            info = self.infos[j]
-            if info in group or self.layout.section_index(info.node_id) != section:
+            if j in group or self.layout.section_index(ids[j]) != section:
                 break
-            group.append(info)
+            group.append(j)
         return group
 
     def cross_type_replica_groups(

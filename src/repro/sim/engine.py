@@ -23,6 +23,12 @@ Performance notes (the kernel is the hot path of every experiment):
 * ``run()`` batch-pops timestamp ties: after the ``until`` horizon
   check admits a timestamp, every tied entry is drained without
   re-checking the horizon.
+* Batch-tick engines (:mod:`repro.worm.columnar`) schedule *one* kernel
+  event per work window and drain many logical events inside it.  Two
+  hooks support this: :meth:`Simulator.peek_next_time` lets a tick see
+  how far it may drain before the next foreign event is due, and
+  :attr:`Simulator.horizon` exposes the active ``run(until=...)`` bound
+  so a tick never processes logical time the caller did not ask for.
 """
 
 from __future__ import annotations
@@ -110,6 +116,7 @@ class Simulator:
         self._events_processed = 0
         self._live = 0
         self._cancelled_in_queue = 0
+        self._run_until: Optional[float] = None
 
     @property
     def now(self) -> float:
@@ -135,6 +142,34 @@ class Simulator:
         entries excluded).  Maintained on schedule/cancel/pop, so it is
         O(1) and unaffected by lazy cancellation."""
         return self._live
+
+    @property
+    def horizon(self) -> Optional[float]:
+        """The ``until`` bound of the currently executing :meth:`run`
+        (``None`` outside a run, or when running unbounded).  Callbacks
+        that batch-process logical events read this so they never run
+        logical time past what the caller asked for."""
+        return self._run_until
+
+    def peek_next_time(self) -> Optional[float]:
+        """Earliest pending event time, or ``None`` for an empty queue.
+
+        Lazily-cancelled entries at the head are discarded on the way
+        (they would never fire anyway).  Inside an event callback the
+        firing entry is already popped, so this is the time of the next
+        *other* event — which is exactly what a batch tick needs to know
+        to bound its drain window.
+        """
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            if len(entry) == 3 and entry[2]._cancelled:
+                heapq.heappop(queue)
+                if self._cancelled_in_queue > 0:
+                    self._cancelled_in_queue -= 1
+                continue
+            return entry[0]
+        return None
 
     # -- scheduling ----------------------------------------------------------
 
@@ -222,6 +257,7 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() is not re-entrant")
         self._running = True
+        self._run_until = until
         processed = 0
         queue = self._queue
         heappop = heapq.heappop
@@ -265,6 +301,7 @@ class Simulator:
                 self._now = until
         finally:
             self._running = False
+            self._run_until = None
 
     def step(self) -> bool:
         """Process exactly one (non-cancelled) event.

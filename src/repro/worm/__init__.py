@@ -1,5 +1,6 @@
 """Worm propagation: model, knowledge, harvesters, scenarios (Fig. 8)."""
 
+from .columnar import ColumnarWormSimulation
 from .harvest import (
     CompromiseVerDiHarvester,
     FastVerDiHarvester,
@@ -8,6 +9,7 @@ from .harvest import (
 from .knowledge import RoutingKnowledge, chord_knowledge, verme_knowledge
 from .model import InfectionCurve, WormParams, WormState
 from .scenarios import (
+    ENGINES,
     SCENARIOS,
     WormPopulation,
     WormRunResult,
@@ -20,7 +22,9 @@ from .scenarios import (
 from .simulation import WormSimulation
 
 __all__ = [
+    "ColumnarWormSimulation",
     "CompromiseVerDiHarvester",
+    "ENGINES",
     "FastVerDiHarvester",
     "ImpersonatorKnowledge",
     "InfectionCurve",

@@ -27,12 +27,18 @@ from ..ids.assignment import NodeType
 from ..overlay.snapshot import VermeStaticOverlay
 from ..sim import Simulator
 from .knowledge import RoutingKnowledge
-from .simulation import WormSimulation
+
+if False:  # typing only; both worm engines satisfy the interface used here
+    from .simulation import WormSimulation
 
 
 class ImpersonatorKnowledge:
     """Wraps a knowledge model so the impersonator targets the victim
     type (its fingers) instead of its own claimed type."""
+
+    #: Both branches below return routing state, which is unique and
+    #: self-free by construction.
+    targets_unique = True
 
     def __init__(
         self,
@@ -50,13 +56,14 @@ class ImpersonatorKnowledge:
         if index != self.impersonator_index:
             return self.base.targets_of(index)
         layout = self.overlay.layout
-        entries = self.overlay.routing_entries(
+        ids = self.overlay.ids
+        indices = self.overlay.routing_target_indices(
             index, self.base.num_successors, self.base.num_predecessors
         )
         return [
-            self.overlay.index_of(e.node_id)
-            for e in entries
-            if NodeType(layout.type_of(e.node_id)) is self.victim_type
+            i
+            for i in indices
+            if NodeType(layout.type_of(ids[i])) is self.victim_type
         ]
 
 
@@ -67,7 +74,7 @@ class _SectionHarvester:
     def __init__(
         self,
         sim: Simulator,
-        worm: WormSimulation,
+        worm: "WormSimulation",
         overlay: VermeStaticOverlay,
         impersonator_index: int,
         victim_type: NodeType,
@@ -108,12 +115,15 @@ class _SectionHarvester:
 
     def _harvest_once(self) -> List[int]:
         position = self._victim_position()
-        group = self.overlay.replica_group(position, self.replicas_per_lookup)
+        group = self.overlay.replica_group_indices(
+            position, self.replicas_per_lookup
+        )
         layout = self.overlay.layout
+        ids = self.overlay.ids
         return [
-            self.overlay.index_of(e.node_id)
-            for e in group
-            if NodeType(layout.type_of(e.node_id)) is self.victim_type
+            i
+            for i in group
+            if NodeType(layout.type_of(ids[i])) is self.victim_type
         ]
 
     def _extra_targets(self) -> List[int]:
@@ -152,7 +162,7 @@ class CompromiseVerDiHarvester(_SectionHarvester):
     def __init__(
         self,
         sim: Simulator,
-        worm: WormSimulation,
+        worm: "WormSimulation",
         overlay: VermeStaticOverlay,
         impersonator_index: int,
         victim_type: NodeType,
@@ -193,7 +203,7 @@ class CompromiseVerDiHarvester(_SectionHarvester):
         # next to the replica-group harvest either way).
         layout = self.overlay.layout
         for _ in range(16):
-            idx = self.rng.randrange(len(self.overlay.infos))
+            idx = self.rng.randrange(len(self.overlay.ids))
             if NodeType(layout.type_of(self.overlay.ids[idx])) is self.victim_type:
                 return [idx]
         return []

@@ -21,13 +21,26 @@ from ..overlay.snapshot import StaticOverlay, VermeStaticOverlay
 
 
 class KnowledgeModel(Protocol):
-    """Maps a node index to the indices its worm instance can target."""
+    """Maps a node index to the indices its worm instance can target.
+
+    Implementations may additionally declare ``targets_unique = True``
+    (a class or instance attribute) to promise that every list returned
+    by ``targets_of`` is duplicate-free and never contains ``index``
+    itself; the columnar engine then skips per-target dedup on first
+    knowledge injection.  They may also provide
+    ``targets_of_many(indices) -> (flat, counts)`` — the concatenated
+    target lists plus per-row lengths — which batch engines prefer.
+    """
 
     def targets_of(self, index: int) -> List[int]: ...
 
 
 class RoutingKnowledge:
     """Knowledge = the node's full routing state on a static overlay."""
+
+    #: Routing state never references the node itself and is
+    #: deduplicated by construction (see ``routing_target_indices``).
+    targets_unique = True
 
     def __init__(
         self,
@@ -58,14 +71,32 @@ class RoutingKnowledge:
         return None
 
     def targets_of(self, index: int) -> List[int]:
-        entries = self.overlay.routing_entries(
+        indices = self.overlay.routing_target_indices(
             index, self.num_successors, self.num_predecessors
         )
-        indices = [self.overlay.index_of(e.node_id) for e in entries]
         if not self.same_type_only:
             return indices
         own_type = self._type_of_index(index)
         return [i for i in indices if self._type_of_index(i) == own_type]
+
+    def targets_of_many(self, indices):
+        """Batched :meth:`targets_of`: ``(flat, counts)`` with the
+        concatenated per-node target lists and each row's length.
+        Unfiltered knowledge delegates to the overlay's vectorised
+        batch extraction; type-filtered knowledge falls back to the
+        scalar path per node (the filter is per-target Python logic).
+        """
+        if not self.same_type_only:
+            return self.overlay.routing_target_indices_many(
+                indices, self.num_successors, self.num_predecessors
+            )
+        flat: List[int] = []
+        counts: List[int] = []
+        for index in indices:
+            row = self.targets_of(index)
+            flat.extend(row)
+            counts.append(len(row))
+        return flat, counts
 
 
 def verme_knowledge(

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 
 class WormState(enum.Enum):
@@ -28,6 +28,51 @@ class WormState(enum.Enum):
     SCANNING = "scanning"
     INFECTING = "infecting"
     INACTIVE = "inactive"
+
+
+#: Columnar state codes: the array-backed engine stores states as small
+#: ints in a byte array and only converts to :class:`WormState` at the
+#: public API boundary.  ``NOT_INFECTED`` must stay 0 so a zeroed state
+#: column means "nobody infected yet".
+STATE_NOT_INFECTED = 0
+STATE_SCANNING = 1
+STATE_INFECTING = 2
+STATE_INACTIVE = 3
+
+#: Code -> enum, indexable by the columnar byte value.
+STATE_TO_ENUM: Tuple[WormState, ...] = (
+    WormState.NOT_INFECTED,
+    WormState.SCANNING,
+    WormState.INFECTING,
+    WormState.INACTIVE,
+)
+
+
+def validate_population(num_nodes: int, vulnerable: Sequence[bool]) -> None:
+    """Shared precondition checks for both worm engines.
+
+    Rejects empty populations and non-boolean vulnerability masks: a
+    stray ``None`` (or ``0``/``1``) in the mask would otherwise be
+    silently counted as not-vulnerable/vulnerable, skewing every curve
+    downstream.
+    """
+    if num_nodes <= 0:
+        raise ValueError(
+            f"a worm simulation needs at least one node (num_nodes={num_nodes})"
+        )
+    if len(vulnerable) != num_nodes:
+        raise ValueError(
+            f"vulnerable mask has {len(vulnerable)} entries for {num_nodes} nodes"
+        )
+    # One fast pass for the common (valid) case; re-scan for a precise
+    # error message only on failure.
+    if not all(type(v) is bool for v in vulnerable):
+        for i, v in enumerate(vulnerable):
+            if type(v) is not bool:
+                raise TypeError(
+                    f"vulnerable[{i}] is {v!r} ({type(v).__name__}); the mask "
+                    "must contain only booleans"
+                )
 
 
 @dataclass(frozen=True)

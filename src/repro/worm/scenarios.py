@@ -20,13 +20,12 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
-from ..chord.state import NodeInfo
 from ..ids.assignment import NodeType
 from ..ids.idspace import IdSpace
 from ..ids.sections import VermeIdLayout
-from ..net.addressing import NodeAddress
 from ..overlay.snapshot import StaticOverlay, VermeStaticOverlay
 from ..sim import Simulator
+from .columnar import ColumnarWormSimulation
 from .harvest import (
     CompromiseVerDiHarvester,
     FastVerDiHarvester,
@@ -35,6 +34,14 @@ from .harvest import (
 from .knowledge import chord_knowledge, verme_knowledge
 from .model import InfectionCurve, WormParams
 from .simulation import WormSimulation
+
+#: Engine selection for ``WormScenarioConfig.engine``.  ``columnar`` is
+#: the default batch-ticked engine; ``legacy`` keeps the per-event
+#: reference implementation (bit-for-bit identical curves).
+ENGINES = {
+    "columnar": ColumnarWormSimulation,
+    "legacy": WormSimulation,
+}
 
 SCENARIOS = (
     "chord",
@@ -71,10 +78,19 @@ class WormScenarioConfig:
     # paper's Fig. 8 setup, where the whole type is vulnerable).
     immune_fraction: float = 0.0
     seed: int = 0
+    # Propagation engine: "columnar" (batch-ticked, array-backed) or
+    # "legacy" (one kernel event per scan).  Both produce identical
+    # curves; legacy remains as the readable reference implementation
+    # and for debugging single events step by step.
+    engine: str = "columnar"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.immune_fraction < 1.0:
             raise ValueError("immune_fraction must be in [0, 1)")
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; pick from {sorted(ENGINES)}"
+            )
 
     def with_paper_scale(self) -> "WormScenarioConfig":
         """The full 100k-node configuration from §7.3."""
@@ -105,6 +121,9 @@ class WormRunResult:
     vulnerable_count: int
     config: WormScenarioConfig
     scans_performed: int = 0
+    # Kernel events plus (for the columnar engine) logical worm events
+    # drained inside batch ticks — comparable across engines.
+    events: int = 0
 
     def time_to_fraction(self, fraction: float) -> Optional[float]:
         return self.curve.time_to_fraction(self.vulnerable_count, fraction)
@@ -141,15 +160,17 @@ def build_verme_population(
     ids_b = _unique_ids(
         config.num_nodes - half, lambda: layout.random_id(rng, NodeType.B), used
     )
-    infos = [NodeInfo(nid, NodeAddress(i)) for i, nid in enumerate(ids_a + ids_b)]
-    imp_index: Optional[int] = None
+    ids = ids_a + ids_b
+    imp_id: Optional[int] = None
     if with_impersonator:
         claimed = config.victim_type.opposite
         imp_id = _unique_ids(1, lambda: layout.random_id(rng, claimed), used)[0]
-        imp_index = len(infos)
-        infos.append(NodeInfo(imp_id, NodeAddress(imp_index)))
-    overlay = VermeStaticOverlay(layout, infos)
-    # NodeInfo order was permuted by the overlay's sort; recompute per-index
+        ids.append(imp_id)
+    # from_ids skips NodeInfo materialisation (lazy on the overlay); the
+    # RNG draw order above is unchanged, so populations are bit-identical
+    # to the eager construction.
+    overlay = VermeStaticOverlay.from_ids(layout, ids)
+    # Id order was permuted by the overlay's sort; recompute per-index
     # attributes in overlay order.
     node_types = [layout.type_of(nid) for nid in overlay.ids]
     vulnerable = [
@@ -157,10 +178,10 @@ def build_verme_population(
         and (config.immune_fraction <= 0.0 or rng.random() >= config.immune_fraction)
         for t in node_types
     ]
-    if imp_index is not None:
-        imp_overlay_index = overlay.index_of(infos[imp_index].node_id)
-        vulnerable[imp_overlay_index] = False  # the attacker's own machine
-        imp_index = imp_overlay_index
+    imp_index: Optional[int] = None
+    if imp_id is not None:
+        imp_index = overlay.index_of(imp_id)
+        vulnerable[imp_index] = False  # the attacker's own machine
     return WormPopulation(overlay, vulnerable, node_types, imp_index)
 
 
@@ -172,11 +193,10 @@ def build_chord_population(
     space = IdSpace(config.id_bits)
     used: set = set()
     ids = _unique_ids(config.num_nodes, lambda: rng.getrandbits(space.bits), used)
-    infos = [NodeInfo(nid, NodeAddress(i)) for i, nid in enumerate(ids)]
-    overlay = StaticOverlay(space, infos)
+    overlay = StaticOverlay.from_ids(space, ids)
     node_types = [
         int(config.victim_type) if rng.random() < 0.5 else int(config.victim_type.opposite)
-        for _ in range(len(overlay.infos))
+        for _ in range(len(overlay))
     ]
     vulnerable = [
         t == int(config.victim_type)
@@ -198,10 +218,11 @@ def run_scenario(
     rng = random.Random(config.seed)
     sim = sim if sim is not None else Simulator()
 
+    engine_cls = ENGINES[config.engine]
     if scenario == "chord":
         pop = build_chord_population(config, rng)
         knowledge = chord_knowledge(pop.overlay, config.num_successors)
-        worm = WormSimulation(
+        worm = engine_cls(
             sim, len(pop.overlay), pop.vulnerable, knowledge, config.params
         )
         seed_index = rng.choice(
@@ -224,7 +245,7 @@ def run_scenario(
         )
     else:
         knowledge = base_knowledge
-    worm = WormSimulation(
+    worm = engine_cls(
         sim, len(pop.overlay), pop.vulnerable, knowledge, config.params
     )
     if with_imp:
@@ -281,7 +302,7 @@ def run_scenario(
 
 def _result(
     scenario: str,
-    worm: WormSimulation,
+    worm,
     pop: WormPopulation,
     config: WormScenarioConfig,
 ) -> WormRunResult:
@@ -292,6 +313,7 @@ def _result(
         vulnerable_count=pop.vulnerable_count,
         config=config,
         scans_performed=worm.scans_performed,
+        events=worm.sim.events_processed + getattr(worm, "logical_events", 0),
     )
 
 

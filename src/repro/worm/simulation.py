@@ -20,7 +20,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Set
 
 from ..sim import Simulator
 from .knowledge import KnowledgeModel
-from .model import InfectionCurve, WormParams, WormState
+from .model import InfectionCurve, WormParams, WormState, validate_population
 
 # Enum attribute lookups are surprisingly costly in the per-scan hot
 # loop; bind the states once at module level.
@@ -41,8 +41,7 @@ class WormSimulation:
         knowledge: KnowledgeModel,
         params: WormParams = WormParams(),
     ) -> None:
-        if len(vulnerable) != num_nodes:
-            raise ValueError("vulnerable mask must cover the population")
+        validate_population(num_nodes, vulnerable)
         self.sim = sim
         self.num_nodes = num_nodes
         self.vulnerable = list(vulnerable)
@@ -92,6 +91,11 @@ class WormSimulation:
 
     def is_infected(self, index: int) -> bool:
         return self.state[index] is not WormState.NOT_INFECTED
+
+    def pending_targets(self, index: int) -> int:
+        """Known-but-unscanned queue length of one node."""
+        queue = self._queues.get(index)
+        return len(queue) if queue else 0
 
     # -- state machine ----------------------------------------------------------
 
