@@ -1,16 +1,26 @@
-"""Fig. 5-scale lookup benchmark (``BENCH_fig5.json``).
+"""Fig. 5-scale lookup benchmark (``BENCH_fig5.json`` and friends).
 
 One ``chord-recursive`` cell of the Fig. 5 experiment — ring build,
-churn, lookup workload over the King latency matrix — at the default
-reduced scale (120 nodes, 30 simulated minutes).  This covers the
-layers the kernel microbenchmark does not: the network fabric, RPC
+churn, lookup workload over a King-style latency model.  This covers
+the layers the kernel microbenchmark does not: the network fabric, RPC
 timeouts (cancellation-heavy), stabilization timers and the lookup
 protocol itself.
 
+Presets:
+
+* ``120`` (default) — the historical regression workload: 120 nodes,
+  30 simulated minutes, dense King matrix.  Gated in CI against the
+  committed ``BENCH_fig5.json``.
+* ``1k`` — 1000 nodes, 10 simulated minutes, on the O(n)-state
+  ``KingCoordinates`` model (exercised in CI at smoke scale).
+* ``10k`` — 10,000 nodes, 10 simulated minutes, ``KingCoordinates``
+  (a dense matrix would need ~800 MB); writes ``BENCH_fig5_10k.json``.
+
 Usage::
 
-    python benchmarks/perf/fig5_lookup.py              # default (~10 s)
-    python benchmarks/perf/fig5_lookup.py --smoke      # CI scale (~2 s)
+    python benchmarks/perf/fig5_lookup.py                  # preset 120 (~5 s)
+    python benchmarks/perf/fig5_lookup.py --preset 10k     # ~minutes
+    python benchmarks/perf/fig5_lookup.py --smoke          # CI scale (~2 s)
 """
 
 from __future__ import annotations
@@ -27,36 +37,67 @@ SEED = 0
 SYSTEM = "chord-recursive"
 MEAN_LIFETIME_S = 1800.0
 
+#: name controls the output file (BENCH_<name>.json).  The ``120``
+#: preset keeps the historical record name and parameter set so
+#: scripts/compare_bench.py accepts old-vs-new comparisons.
+PRESETS = {
+    "120": {"nodes": 120, "duration": 1800.0, "latency_model": "king-matrix",
+            "name": "fig5"},
+    "1k": {"nodes": 1000, "duration": 600.0, "latency_model": "king-coords",
+           "name": "fig5_1k"},
+    "10k": {"nodes": 10000, "duration": 600.0, "latency_model": "king-coords",
+            "name": "fig5_10k"},
+}
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--nodes", type=int, default=120)
-    parser.add_argument("--duration", type=float, default=1800.0,
-                        help="simulated seconds (default 1800)")
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="120",
+                        help="workload scale (default 120)")
+    parser.add_argument("--nodes", type=int, default=None,
+                        help="override the preset's node count")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="override the preset's simulated seconds")
     parser.add_argument("--smoke", action="store_true",
                         help="40 nodes / 300 simulated seconds, for CI")
     parser.add_argument("--out", default=None,
-                        help="output path (default BENCH_fig5.json at repo root)")
+                        help="output path (default BENCH_<name>.json at repo root)")
     args = parser.parse_args(argv)
-    nodes = 40 if args.smoke else args.nodes
-    duration = 300.0 if args.smoke else args.duration
+    preset = PRESETS[args.preset]
+    nodes = args.nodes if args.nodes is not None else preset["nodes"]
+    duration = args.duration if args.duration is not None else preset["duration"]
+    latency_model = preset["latency_model"]
+    name = preset["name"]
+    if args.smoke:
+        nodes, duration = 40, 300.0
 
-    config = Fig5Config(num_nodes=nodes, duration_s=duration, seed=SEED)
+    config = Fig5Config(
+        num_nodes=nodes,
+        duration_s=duration,
+        seed=SEED,
+        latency_model=latency_model,
+    )
     start = time.perf_counter()
     row, events = run_cell_instrumented(config, SYSTEM, MEAN_LIFETIME_S)
     wall = time.perf_counter() - start
 
+    parameters = {
+        "system": SYSTEM,
+        "num_nodes": nodes,
+        "duration_s": duration,
+        "mean_lifetime_s": MEAN_LIFETIME_S,
+    }
+    if latency_model != "king-matrix":
+        # The 120 preset's parameter dict must stay exactly as committed
+        # (compare_bench.py refuses to gate records whose parameters
+        # differ), so only the new presets record the model choice.
+        parameters["latency_model"] = latency_model
     record = perf_common.bench_record(
-        name="fig5",
+        name=name,
         wall_clock_s=wall,
         events=events,
         seed=SEED,
-        parameters={
-            "system": SYSTEM,
-            "num_nodes": nodes,
-            "duration_s": duration,
-            "mean_lifetime_s": MEAN_LIFETIME_S,
-        },
+        parameters=parameters,
         metrics={
             "lookups": float(row.lookups),
             "mean_latency_s": row.mean_latency_s,
@@ -64,8 +105,9 @@ def main(argv=None) -> int:
         },
     )
     path = perf_common.write_record(record, args.out)
-    print(f"fig5 {nodes} nodes x {duration:.0f}s sim: {wall:.2f}s wall, "
-          f"{events:,} events ({record['events_per_s']:,.0f}/s), "
+    print(f"fig5[{args.preset}] {nodes} nodes x {duration:.0f}s sim: "
+          f"{wall:.2f}s wall, {events:,} events "
+          f"({record['events_per_s']:,.0f}/s), "
           f"{row.lookups} lookups -> {path}")
     return 0
 

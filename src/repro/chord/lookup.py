@@ -37,9 +37,13 @@ class LookupPurpose(enum.Enum):
     DHT = "dht"
 
 
-@dataclass
+@dataclass(slots=True)
 class LookupResult:
-    """Outcome of one lookup as seen by the initiator."""
+    """Outcome of one lookup as seen by the initiator.
+
+    Slotted: one instance per completed lookup, allocated on the hot
+    completion path of every workload and maintenance lookup.
+    """
 
     key: int
     success: bool

@@ -14,8 +14,11 @@ paper introduces.
 
 from __future__ import annotations
 
+import heapq
 import itertools
+from bisect import bisect_right
 from dataclasses import dataclass, field
+from operator import itemgetter
 from typing import Callable, Dict, List, Optional, Set
 
 from ..ids.idspace import IdSpace
@@ -35,14 +38,31 @@ LookupCallback = Callable[[LookupResult], None]
 ResponsibleHook = Callable[[int, dict, List[NodeInfo], Callable[[object, int], None]], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class _RouteDecision:
     done: bool
     owner_is_self: bool = False
     next_hop: Optional[NodeInfo] = None
 
 
-@dataclass
+# The three fieldwise-constant decisions, preallocated: routing makes
+# one decision per hop and callers only ever *read* decisions, so the
+# terminal/no-route cases can share these singletons.
+_DECISION_OWNER_SELF = _RouteDecision(done=True, owner_is_self=True)
+_DECISION_OWNER_SUCC = _RouteDecision(done=True, owner_is_self=False)
+_DECISION_NO_ROUTE = _RouteDecision(done=False, next_hop=None)
+
+#: Shared empty exclude set for hops with no failure history (the
+#: common case); read-only by contract of ``_route_next``.
+_NO_EXCLUDE: frozenset = frozenset()
+
+#: Sort key for the cached routing-candidate list: clockwise distance.
+#: The sort is stable, so equal distances keep build order (fingers
+#: before successors), matching the original scan's tie-break.
+_cand_distance = itemgetter(0)
+
+
+@dataclass(slots=True)
 class _PendingLookup:
     key: int
     style: LookupStyle
@@ -61,7 +81,7 @@ class _PendingLookup:
     iter_hops: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _ForwardState:
     upstream: NodeAddress
     exclude: Set[NodeAddress]
@@ -131,13 +151,32 @@ class ChordNode:
         self.dht_lookup_hook: Optional[ResponsibleHook] = None
         self.lookups_started = 0
         self.lookups_failed = 0
+        # Per-hop constants, computed once: the forward path consults
+        # these per routed message, and the subclass byte-cost hooks
+        # (Verme's certificate / sealing overheads) are constants per
+        # node, not per lookup.
+        self._addr_str = str(address)
+        self._self_info = NodeInfo(node_id, address)  # immutable, shared
+        self._mask = config.space.mask
+        self._rpc_timeout_s = config.rpc_timeout_s
+        self._forward_base_bytes = (
+            MIN_RPC_BYTES + ID_BYTES + self._lookup_request_extra_bytes()
+        )
+        # Routing-candidate cache: finger + successor entries with their
+        # precomputed clockwise distance from this node, sorted farthest
+        # first.  Rebuilt lazily when either table's version moves (see
+        # _route_next); steady-state scans touch no allocation at all.
+        self._cand_keys: List[int] = []
+        self._cand_infos: List[NodeInfo] = []
+        self._cand_fver = -1
+        self._cand_sver = -1
         self._register_handlers()
 
     # -- identity ------------------------------------------------------------
 
     @property
     def info(self) -> NodeInfo:
-        return NodeInfo(self.node_id, self.address)
+        return self._self_info
 
     @property
     def alive(self) -> bool:
@@ -230,8 +269,10 @@ class ChordNode:
         self.rpc.register("get_neighbors", self._h_get_neighbors)
         self.rpc.register("notify", self._h_notify)
         self.rpc.register("route_step", self._h_route_step)
-        self.rpc.register("route_forward", self._h_route_forward)
-        self.rpc.register("route_result", self._h_route_result)
+        # The two per-hop forwarding methods dominate message volume and
+        # use the context-free fast dispatch (see RpcLayer.register_fast).
+        self.rpc.register_fast("route_forward", self._h_route_forward)
+        self.rpc.register_fast("route_result", self._h_route_result)
 
     # -- basic handlers ---------------------------------------------------------
 
@@ -391,53 +432,121 @@ class ChordNode:
     ) -> Optional[_RouteDecision]:
         """Fast path: the key provably falls in ``(predecessor, self]``,
         so this node can decide ownership without routing."""
-        pred = self.predecessor
-        if pred is None:
+        preds = self.predecessors._entries
+        if not preds:
             return None
-        if self.space.in_half_open(key, pred.node_id, self.node_id):
-            return _RouteDecision(done=True, owner_is_self=True)
+        pred_id = preds[0].node_id
+        node_id = self.node_id
+        mask = self._mask
+        # in_half_open(key, pred_id, node_id), inlined.
+        if pred_id == node_id or (
+            0 < (key - pred_id) & mask <= (node_id - pred_id) & mask
+        ):
+            return _DECISION_OWNER_SELF
         return None
 
     def _route_next(self, key: int, exclude: Set[NodeAddress]) -> _RouteDecision:
-        succ = self.successors.first
-        if succ is None:
-            return _RouteDecision(done=True, owner_is_self=True)
-        if self.space.in_half_open(key, self.node_id, succ.node_id):
+        """One routing decision: terminate here, or name the next hop.
+
+        This is the protocol stack's hottest loop (one scan per routed
+        message), so the interval predicates are inlined as mask
+        arithmetic and the scan walks the live finger/successor views
+        without copying or allocating.  Semantics are exactly the
+        closest-preceding-finger rule the readable predicates in
+        :mod:`repro.ids.idspace` express.
+        """
+        # Reads the neighbour lists' internal entry lists directly
+        # (rebind-not-mutate contract of entries_view, minus the
+        # property call).
+        succs = self.successors._entries
+        if not succs:
+            return _DECISION_OWNER_SELF
+        succ = succs[0]
+        node_id = self.node_id
+        mask = self._mask
+        # in_half_open(key, node_id, succ.node_id), inlined.
+        succ_id = succ.node_id
+        if node_id == succ_id or (
+            0 < (key - node_id) & mask <= (succ_id - node_id) & mask
+        ):
             return self._terminal_decision(key, succ)
         local = self._local_decision(key, exclude)
         if local is not None:
             return local
-        candidates = self.fingers.entries() + self.successors.entries
+        # Closest preceding candidate: the farthest entry strictly
+        # inside (node_id, key).  ``dk`` bounds the open interval; a
+        # key equal to node_id means the whole ring (Chord convention).
+        #
+        # The scan runs over a cached candidate list sorted farthest
+        # first, so the first entry below ``dk`` (and not excluded) is
+        # the winner.  Ties between a finger and a successor entry for
+        # the same id resolve to the finger, exactly as the original
+        # fingers-then-successors max scan with a strict ``>`` did:
+        # the list is built fingers first and the sort is stable.
+        fingers = self.fingers
+        successors = self.successors
+        if (
+            fingers.version != self._cand_fver
+            or successors.version != self._cand_sver
+        ):
+            # Keys are *negated* distances so the list sorts ascending
+            # and the C-level bisect below can find the winner.  The
+            # stable sort keeps build order (fingers before successors)
+            # among equal distances, reproducing the original
+            # fingers-then-successors strict-max tie-break.
+            cands = []
+            for cand in fingers.values():
+                dc = (cand.node_id - node_id) & mask
+                if dc:  # dc == 0 (an entry for self) can never route
+                    cands.append((-dc, cand))
+            for cand in succs:
+                dc = (cand.node_id - node_id) & mask
+                if dc:
+                    cands.append((-dc, cand))
+            cands.sort(key=_cand_distance)
+            keys = [c[0] for c in cands]
+            infos = [c[1] for c in cands]
+            self._cand_keys = keys
+            self._cand_infos = infos
+            self._cand_fver = fingers.version
+            self._cand_sver = successors.version
+        else:
+            keys = self._cand_keys
+            infos = self._cand_infos
+        dk = (key - node_id) & mask if key != node_id else mask + 1
+        # First candidate with dc < dk  ⟺  first key > -dk in the
+        # ascending keys list: one binary search instead of a scan.
+        i = bisect_right(keys, -dk)
         best: Optional[NodeInfo] = None
-        best_dist = -1
-        for cand in candidates:
-            if cand.address in exclude:
-                continue
-            if self.space.in_open(cand.node_id, self.node_id, key):
-                dist = self.space.distance(self.node_id, cand.node_id)
-                if dist > best_dist:
+        if exclude:
+            for j in range(i, len(infos)):
+                cand = infos[j]
+                if cand.address not in exclude:
                     best = cand
-                    best_dist = dist
+                    break
+        elif i < len(infos):
+            best = infos[i]
         if best is None:
             if succ.address not in exclude:
                 best = succ  # last resort: inch forward via the successor
             else:
-                return _RouteDecision(done=False, next_hop=None)
-        return _RouteDecision(done=False, next_hop=best)
+                return _DECISION_NO_ROUTE
+        return _RouteDecision(False, next_hop=best)
 
     def _terminal_decision(self, key: int, succ: NodeInfo) -> _RouteDecision:
         """The key lies in ``(self, successor]``: in Chord the successor
         always owns it.  Verme overrides this with the section rule."""
-        return _RouteDecision(done=True, owner_is_self=False)
+        return _DECISION_OWNER_SUCC
 
     def _entries_for_key(
         self, key: int, purpose: LookupPurpose, owner_is_self: bool
     ) -> List[NodeInfo]:
         """The node list a terminating lookup returns."""
         if owner_is_self:
-            entries = [self.info] + self.successors.entries
+            entries = [self._self_info]
+            entries.extend(self.successors.entries_view)
         else:
-            entries = self.successors.entries
+            entries = list(self.successors.entries_view)
         return entries[: self.config.num_successors]
 
     # -- lookup verification / packaging (Verme overrides) ----------------------------
@@ -490,25 +599,41 @@ class ChordNode:
         if category is None:
             category = "lookup" if purpose is LookupPurpose.DHT else "maintenance"
         self.lookups_started += 1
-        state = _PendingLookup(
-            key=key,
-            style=style,
-            purpose=purpose,
-            on_done=on_done,
-            category=category,
-            op_tag=op_tag,
-            request_meta=request_meta,
-            extra_request_bytes=extra_request_bytes,
-            started_at=self.sim.now,
-            first_hop=first_hop,
-        )
-        state.timer = self.sim.schedule(
-            self.config.lookup_timeout_s, self._lookup_attempt_timeout, state
-        )
+        sim = self.sim
+        # Inlined _PendingLookup construction and Simulator.schedule for
+        # the attempt timer (one of each per lookup).
+        state = _PendingLookup.__new__(_PendingLookup)
+        state.key = key
+        state.style = style
+        state.purpose = purpose
+        state.on_done = on_done
+        state.category = category
+        state.op_tag = op_tag
+        state.request_meta = request_meta
+        state.extra_request_bytes = extra_request_bytes
+        state.started_at = sim._now
+        state.first_hop = first_hop
+        state.attempts = 0
+        state.token = None
+        state.failed_hops = set()
+        state.iter_hops = 0
+        fire_at = sim._now + self.config.lookup_timeout_s
+        timer = EventHandle.__new__(EventHandle)
+        timer.time = fire_at
+        timer.callback = self._lookup_attempt_timeout
+        timer.args = (state,)
+        timer._cancelled = False
+        timer._fired = False
+        timer._sim = sim
+        seq = sim._next_seq
+        sim._next_seq = seq + 1
+        heapq.heappush(sim._queue, (fire_at, seq, timer))
+        sim._live += 1
+        state.timer = timer
         self._attempt(state)
 
     def _new_token(self, state: _PendingLookup) -> tuple:
-        token = (str(self.address), next(self._token_counter))
+        token = (self._addr_str, next(self._token_counter))
         state.token = token
         self._lookups[token] = state
         return token
@@ -577,9 +702,9 @@ class ChordNode:
         return params
 
     def _forward_request_size(self, params: dict) -> int:
-        size = MIN_RPC_BYTES + ID_BYTES + int(params.get("extra_bytes", 0))
-        size += self._lookup_request_extra_bytes()
-        if params.get("origin") is not None:
+        # params always comes from _request_params, so the keys exist.
+        size = self._forward_base_bytes + params["extra_bytes"]
+        if params["origin"] is not None:
             size += ADDR_BYTES
         return size
 
@@ -589,23 +714,33 @@ class ChordNode:
     _WORST_CASE_BANDWIDTH = 1e4
 
     def _forward_timeout(self, params: dict) -> float:
-        extra = int(params.get("extra_bytes", 0))
-        return self.config.rpc_timeout_s + extra / self._WORST_CASE_BANDWIDTH
+        extra = params["extra_bytes"]
+        if extra:
+            return self._rpc_timeout_s + extra / self._WORST_CASE_BANDWIDTH
+        return self._rpc_timeout_s
 
     def _send_forward(
         self, state: _PendingLookup, token: tuple, dst: NodeAddress, hops: int
     ) -> None:
         params = self._request_params(state, token, hops)
+        extra = params["extra_bytes"]
+        size = self._forward_base_bytes + extra
+        if params["origin"] is not None:
+            size += ADDR_BYTES
+        if extra:
+            timeout = self._rpc_timeout_s + extra / self._WORST_CASE_BANDWIDTH
+        else:
+            timeout = self._rpc_timeout_s
         self.rpc.call(
             dst,
             "route_forward",
             params,
-            on_reply=None,  # the ack carries no information
-            on_error=lambda err: self._first_hop_failed(state, dst),
-            timeout_s=self._forward_timeout(params),
-            size=self._forward_request_size(params),
-            category=state.category,
-            op_tag=state.op_tag,
+            None,  # the ack carries no information
+            lambda err: self._first_hop_failed(state, dst),
+            timeout,
+            size,
+            state.category,
+            state.op_tag,
         )
 
     def _first_hop_failed(self, state: _PendingLookup, dst: NodeAddress) -> None:
@@ -649,17 +784,22 @@ class ChordNode:
         success = error is None and entries is not None
         if not success:
             self.lookups_failed += 1
-        result = LookupResult(
-            key=state.key,
-            success=success,
-            entries=list(entries) if entries else [],
-            latency_s=self.sim.now - state.started_at,
-            hops=hops,
-            retries=state.attempts - 1,
-            error=error,
-            app_payload=app_payload,
-        )
-        self.sim.schedule(0.0, state.on_done, result)
+        sim = self.sim
+        # Inlined LookupResult construction and the zero-delay
+        # call_after handing it to the caller (one per lookup).
+        result = LookupResult.__new__(LookupResult)
+        result.key = state.key
+        result.success = success
+        result.entries = list(entries) if entries else []
+        result.latency_s = sim._now - state.started_at
+        result.hops = hops
+        result.retries = state.attempts - 1
+        result.error = error
+        result.app_payload = app_payload
+        seq = sim._next_seq
+        sim._next_seq = seq + 1
+        heapq.heappush(sim._queue, (sim._now, seq, state.on_done, (result,)))
+        sim._live += 1
 
     # -- iterative lookups -------------------------------------------------------
 
@@ -709,7 +849,7 @@ class ChordNode:
     def _h_route_step(self, params: dict, ctx: RpcContext) -> None:
         key = params["key"]
         purpose = params["purpose"]
-        decision = self._route_next(key, set())
+        decision = self._route_next(key, _NO_EXCLUDE)
         if decision.done:
             entries = self._entries_for_key(key, purpose, decision.owner_is_self)
             ctx.respond(
@@ -724,24 +864,44 @@ class ChordNode:
 
     # -- recursive / transitive forwarding ------------------------------------------
 
-    def _h_route_forward(self, params: dict, ctx: RpcContext) -> None:
-        ctx.respond({})  # per-hop ack: "I took it" (failure detector)
+    def _h_route_forward(self, request, msg) -> None:
+        # Fast handler: (request, msg), no RpcContext (one per routed
+        # message — see _register_handlers).
+        self.rpc.ack_request(request, msg)  # per-hop ack (failure detector)
+        params = request.params
+        src = msg.src
         token = params["token"]
         style: LookupStyle = params["style"]
         hops = params["hops"]
         if hops > self.config.max_lookup_hops:
-            self._send_result_back(params, ctx.src, ok=False, error="hop limit")
+            self._send_result_back(params, src, ok=False, error="hop limit")
             return
         if style is LookupStyle.RECURSIVE:
             if token in self._forwards:
                 return  # duplicate
-            gc_handle = self.sim.schedule(
-                self.config.pending_route_gc_s, self._gc_forward, token
-            )
-            self._forwards[token] = _ForwardState(
-                upstream=ctx.src, exclude=set(), params=params, gc_handle=gc_handle
-            )
-        self._continue_forward(params, ctx.src, set(), ctx.category, ctx.op_tag)
+            # Inlined Simulator.schedule for the forward-state GC timer
+            # (one per accepted forward; cancelled when the result
+            # passes back through).
+            sim = self.sim
+            fire_at = sim._now + self.config.pending_route_gc_s
+            gc_handle = EventHandle.__new__(EventHandle)
+            gc_handle.time = fire_at
+            gc_handle.callback = self._gc_forward
+            gc_handle.args = (token,)
+            gc_handle._cancelled = False
+            gc_handle._fired = False
+            gc_handle._sim = sim
+            seq = sim._next_seq
+            sim._next_seq = seq + 1
+            heapq.heappush(sim._queue, (fire_at, seq, gc_handle))
+            sim._live += 1
+            fwd = _ForwardState.__new__(_ForwardState)
+            fwd.upstream = src
+            fwd.exclude = _NO_EXCLUDE
+            fwd.params = params
+            fwd.gc_handle = gc_handle
+            self._forwards[token] = fwd
+        self._continue_forward(params, src, _NO_EXCLUDE, msg.category, msg.op_tag)
 
     def _continue_forward(
         self,
@@ -762,18 +922,28 @@ class ChordNode:
         nxt = decision.next_hop
         fwd_params = dict(params)
         fwd_params["hops"] = params["hops"] + 1
+        # _forward_request_size/_forward_timeout inlined (one forward
+        # per routed message).
+        extra = fwd_params["extra_bytes"]
+        size = self._forward_base_bytes + extra
+        if fwd_params["origin"] is not None:
+            size += ADDR_BYTES
+        if extra:
+            timeout = self._rpc_timeout_s + extra / self._WORST_CASE_BANDWIDTH
+        else:
+            timeout = self._rpc_timeout_s
         self.rpc.call(
             nxt.address,
             "route_forward",
             fwd_params,
-            on_reply=None,
-            on_error=lambda err: self._forward_hop_failed(
+            None,  # the ack carries no information
+            lambda err: self._forward_hop_failed(
                 params, upstream, exclude, nxt, category, op_tag
             ),
-            timeout_s=self._forward_timeout(fwd_params),
-            size=self._forward_request_size(fwd_params),
-            category=category,
-            op_tag=op_tag,
+            timeout,
+            size,
+            category,
+            op_tag,
         )
 
     def _forward_hop_failed(
@@ -864,11 +1034,12 @@ class ChordNode:
                 return
         else:
             dst = upstream
-        self.rpc.send_one_way(
-            dst, "route_result", result_params, size=size, category=category, op_tag=op_tag
-        )
+        self.rpc.send_one_way(dst, "route_result", result_params, size, category, op_tag)
 
-    def _h_route_result(self, params: dict, ctx: RpcContext) -> None:
+    def _h_route_result(self, request, msg) -> None:
+        # Fast handler: (request, msg), no RpcContext; route_result is
+        # always one-way, so there is nothing to ack.
+        params = request.params
         token = params["token"]
         state = self._lookups.get(token)
         if state is not None:
@@ -882,9 +1053,9 @@ class ChordNode:
             fwd.upstream,
             "route_result",
             params,
-            size=params.get("size", MIN_RPC_BYTES),
-            category=ctx.category,
-            op_tag=ctx.op_tag,
+            params.get("size", MIN_RPC_BYTES),
+            msg.category,
+            msg.op_tag,
         )
 
     def _initiator_result(self, state: _PendingLookup, params: dict) -> None:

@@ -25,31 +25,48 @@ from .node import ChordNode
 
 
 class Population:
-    """The set of currently-alive nodes, with deterministic sampling."""
+    """The set of currently-alive nodes, with deterministic sampling.
+
+    A parallel insertion-ordered list mirrors the dict so ``pick`` is
+    O(1) instead of materialising every node per sample — at 10k nodes
+    the copy dominated the workload drivers.  ``rng.choice`` consumes
+    randomness as a function of ``len`` only, and the list preserves
+    exactly the dict's insertion order (re-adding a present key keeps
+    its position, as dicts do), so sampling is bit-identical to the old
+    ``rng.choice(list(dict.values()))``.
+    """
 
     def __init__(self) -> None:
         self._nodes: Dict[object, ChordNode] = {}
+        self._order: List[ChordNode] = []
 
     def add(self, node: ChordNode) -> None:
+        prev = self._nodes.get(node.address)
         self._nodes[node.address] = node
+        if prev is None:
+            self._order.append(node)
+        else:
+            self._order[self._order.index(prev)] = node
 
     def remove(self, node: ChordNode) -> None:
-        self._nodes.pop(node.address, None)
+        present = self._nodes.pop(node.address, None)
+        if present is not None:
+            self._order.remove(present)
 
     def __len__(self) -> int:
-        return len(self._nodes)
+        return len(self._order)
 
     def __iter__(self):
-        return iter(list(self._nodes.values()))
+        return iter(list(self._order))
 
     @property
     def nodes(self) -> List[ChordNode]:
-        return list(self._nodes.values())
+        return list(self._order)
 
     def pick(self, rng: random.Random) -> Optional[ChordNode]:
-        if not self._nodes:
+        if not self._order:
             return None
-        return rng.choice(list(self._nodes.values()))
+        return rng.choice(self._order)
 
 
 class NodeFactory(Protocol):

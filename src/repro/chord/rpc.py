@@ -27,6 +27,7 @@ times — accumulates in ``RpcLayer.detector``.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import random
 from dataclasses import dataclass
@@ -37,14 +38,19 @@ from ..net.addressing import NodeAddress
 from ..net.message import HEADER_BYTES, RPC_META_BYTES, Message
 from ..net.network import Network
 from ..sim import EventHandle, Simulator
+from ..sim.engine import _MIN_COMPACT_SIZE
 
 ReplyCallback = Callable[[Any], None]
 ErrorCallback = Callable[[str], None]
 
 MIN_RPC_BYTES = HEADER_BYTES + RPC_META_BYTES
 
+#: Shared empty ack payload (read-only by convention: ack receivers
+#: never mutate the result of an information-free reply).
+_EMPTY_ACK: dict = {}
 
-@dataclass
+
+@dataclass(slots=True)
 class _Request:
     req_id: int
     method: str
@@ -52,7 +58,7 @@ class _Request:
     reply_to: Optional[NodeAddress]  # None for one-way messages
 
 
-@dataclass
+@dataclass(slots=True)
 class _Reply:
     req_id: int
     ok: bool
@@ -61,6 +67,8 @@ class _Reply:
 
 class RpcContext:
     """Handed to handlers; carries the caller and the reply channel."""
+
+    __slots__ = ("_rpc", "_request", "src", "category", "op_tag", "responded")
 
     def __init__(self, rpc: "RpcLayer", request: _Request, msg: Message) -> None:
         self._rpc = rpc
@@ -76,29 +84,51 @@ class RpcContext:
 
     def respond(self, result: Any, size: int = MIN_RPC_BYTES) -> None:
         """Send a successful reply (no-op guards against double replies)."""
-        self._send(_Reply(self._request.req_id, True, result), size)
+        self._send(True, result, size)
 
-    def fail(self, reason: str) -> None:
-        """Send an error reply; the caller's ``on_error`` receives it."""
-        self._send(_Reply(self._request.req_id, False, reason), MIN_RPC_BYTES)
-
-    def _send(self, reply: _Reply, size: int) -> None:
+    def ack(self) -> None:
+        """Minimum-size empty success reply (``respond({})``), single
+        frame: this is the per-hop ack of recursive forwarding, sent
+        once per routed message."""
         if self.responded:
             return
         self.responded = True
-        if self._request.reply_to is None:
+        request = self._request
+        if request.reply_to is None:
+            return
+        reply = _Reply.__new__(_Reply)
+        reply.req_id = request.req_id
+        reply.ok = True
+        reply.result = _EMPTY_ACK
+        rpc = self._rpc
+        rpc.network.send(
+            rpc.address, request.reply_to, reply, MIN_RPC_BYTES, self.category, self.op_tag
+        )
+
+    def fail(self, reason: str) -> None:
+        """Send an error reply; the caller's ``on_error`` receives it."""
+        self._send(False, reason, MIN_RPC_BYTES)
+
+    def _send(self, ok: bool, result: Any, size: int) -> None:
+        if self.responded:
+            return
+        self.responded = True
+        request = self._request
+        if request.reply_to is None:
             return  # one-way: nowhere to reply to
-        self._rpc.network.send(
-            self._rpc.address,
-            self._request.reply_to,
-            reply,
-            size,
-            category=self.category,
-            op_tag=self.op_tag,
+        # Inlined _Reply construction: one reply per answered request
+        # (per-hop acks make this a per-message cost).
+        reply = _Reply.__new__(_Reply)
+        reply.req_id = request.req_id
+        reply.ok = ok
+        reply.result = result
+        rpc = self._rpc
+        rpc.network.send(
+            rpc.address, request.reply_to, reply, size, self.category, self.op_tag
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class _Pending:
     on_reply: Optional[ReplyCallback]
     on_error: Optional[ErrorCallback]
@@ -114,6 +144,24 @@ class _Pending:
 
 class RpcLayer:
     """One node's RPC endpoint."""
+
+    __slots__ = (
+        "sim",
+        "network",
+        "address",
+        "default_timeout_s",
+        "max_retransmits",
+        "backoff_factor",
+        "backoff_jitter",
+        "_jitter_rng",
+        "detector",
+        "_handlers",
+        "_fast_handlers",
+        "_pending",
+        "_req_ids",
+        "_alive",
+        "_on_timeout_cb",
+    )
 
     def __init__(
         self,
@@ -136,9 +184,13 @@ class RpcLayer:
         self._jitter_rng = jitter_rng
         self.detector = FailureDetectorStats()
         self._handlers: Dict[str, Callable[[dict, RpcContext], None]] = {}
+        self._fast_handlers: Dict[str, Callable[[_Request, Message], None]] = {}
         self._pending: Dict[int, _Pending] = {}
         self._req_ids = itertools.count()
         self._alive = False
+        # One bound method for every timeout timer (binding per call
+        # would allocate a method object per request).
+        self._on_timeout_cb = self._on_timeout
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -176,9 +228,39 @@ class RpcLayer:
         return self._alive
 
     def register(self, method: str, handler: Callable[[dict, RpcContext], None]) -> None:
-        if method in self._handlers:
+        if method in self._handlers or method in self._fast_handlers:
             raise ValueError(f"handler for {method!r} already registered")
         self._handlers[method] = handler
+
+    def register_fast(
+        self, method: str, handler: Callable[[_Request, Message], None]
+    ) -> None:
+        """Register an allocation-free request handler.
+
+        A fast handler receives the raw ``(request, msg)`` pair and no
+        :class:`RpcContext` is built for it.  It must answer a two-way
+        request itself — for the information-free per-hop ack, via
+        :meth:`ack_request` — and simply not reply to one-way messages.
+        Reserved for the per-hop forwarding methods, which dominate
+        message volume; everything else should use :meth:`register`.
+        """
+        if method in self._handlers or method in self._fast_handlers:
+            raise ValueError(f"handler for {method!r} already registered")
+        self._fast_handlers[method] = handler
+
+    def ack_request(self, request: _Request, msg: Message) -> None:
+        """Minimum-size empty success reply to ``request``, single frame
+        (the fast-handler counterpart of :meth:`RpcContext.ack`)."""
+        reply_to = request.reply_to
+        if reply_to is None:
+            return
+        reply = _Reply.__new__(_Reply)
+        reply.req_id = request.req_id
+        reply.ok = True
+        reply.result = _EMPTY_ACK
+        self.network.send(
+            self.address, reply_to, reply, MIN_RPC_BYTES, msg.category, msg.op_tag
+        )
 
     # -- outbound ------------------------------------------------------------
 
@@ -199,23 +281,42 @@ class RpcLayer:
             raise RuntimeError("rpc layer is not started")
         req_id = next(self._req_ids)
         timeout = timeout_s if timeout_s is not None else self.default_timeout_s
-        timer = self.sim.schedule(timeout, self._on_timeout, req_id)
-        request = _Request(req_id, method, params, self.address)
-        self._pending[req_id] = _Pending(
-            on_reply,
-            on_error,
-            timer,
-            dst=dst,
-            request=request,
-            size=size,
-            category=category,
-            op_tag=op_tag,
-            timeout_s=timeout,
-        )
-        self.detector.record_call()
-        self.network.send(
-            self.address, dst, request, size, category=category, op_tag=op_tag
-        )
+        # Inlined Simulator.schedule for the timeout timer (one per call;
+        # the timer must keep its pre-send schedule order so its seq sorts
+        # before the request's delivery).
+        sim = self.sim
+        fire_at = sim._now + timeout
+        timer = EventHandle.__new__(EventHandle)
+        timer.time = fire_at
+        timer.callback = self._on_timeout_cb
+        timer.args = (req_id,)
+        timer._cancelled = False
+        timer._fired = False
+        timer._sim = sim
+        seq = sim._next_seq
+        sim._next_seq = seq + 1
+        heapq.heappush(sim._queue, (fire_at, seq, timer))
+        sim._live += 1
+        # Inlined _Request/_Pending construction (one of each per call).
+        request = _Request.__new__(_Request)
+        request.req_id = req_id
+        request.method = method
+        request.params = params
+        request.reply_to = self.address
+        pending = _Pending.__new__(_Pending)
+        pending.on_reply = on_reply
+        pending.on_error = on_error
+        pending.timer = timer
+        pending.dst = dst
+        pending.request = request
+        pending.size = size
+        pending.category = category
+        pending.op_tag = op_tag
+        pending.timeout_s = timeout
+        pending.attempt = 0
+        self._pending[req_id] = pending
+        self.detector.calls += 1
+        self.network.send(self.address, dst, request, size, category, op_tag)
         return req_id
 
     def send_one_way(
@@ -230,10 +331,12 @@ class RpcLayer:
         """Fire-and-forget message dispatched to the same handler table."""
         if not self._alive:
             raise RuntimeError("rpc layer is not started")
-        request = _Request(next(self._req_ids), method, params, None)
-        self.network.send(
-            self.address, dst, request, size, category=category, op_tag=op_tag
-        )
+        request = _Request.__new__(_Request)
+        request.req_id = next(self._req_ids)
+        request.method = method
+        request.params = params
+        request.reply_to = None
+        self.network.send(self.address, dst, request, size, category, op_tag)
 
     def cancel(self, req_id: int) -> None:
         pending = self._pending.pop(req_id, None)
@@ -244,19 +347,52 @@ class RpcLayer:
 
     def _on_message(self, msg: Message) -> None:
         payload = msg.payload
-        if isinstance(payload, _Request):
+        # Exact-type dispatch: every payload on an RPC endpoint is a
+        # _Request or _Reply (both final), and this runs once per
+        # delivered message.
+        cls = payload.__class__
+        if cls is _Request:
+            fast = self._fast_handlers.get(payload.method)
+            if fast is not None:
+                fast(payload, msg)
+                return
             handler = self._handlers.get(payload.method)
-            ctx = RpcContext(self, payload, msg)
+            # Inlined RpcContext construction: one context per request.
+            ctx = RpcContext.__new__(RpcContext)
+            ctx._rpc = self
+            ctx._request = payload
+            ctx.src = msg.src
+            ctx.category = msg.category
+            ctx.op_tag = msg.op_tag
+            ctx.responded = False
             if handler is None:
                 ctx.fail(f"no handler for {payload.method!r}")
                 return
             handler(payload.params, ctx)
-        elif isinstance(payload, _Reply):
+        elif cls is _Reply:
             pending = self._pending.pop(payload.req_id, None)
             if pending is None:
                 return  # late or duplicate reply: ignore
-            pending.timer.cancel()
-            self.detector.record_reply(pending.dst, self.sim.now)
+            # Inlined EventHandle.cancel for the timeout timer: every
+            # answered call passes through here, and the timer can never
+            # have fired already (a fired timer removes the pending).
+            timer = pending.timer
+            if not (timer._cancelled or timer._fired):
+                timer._cancelled = True
+                sim = self.sim
+                if sim._live > 0:
+                    sim._live -= 1
+                sim._cancelled_in_queue += 1
+                queue = sim._queue
+                if len(queue) > _MIN_COMPACT_SIZE and (
+                    2 * sim._cancelled_in_queue > len(queue)
+                ):
+                    sim._compact()
+            # The failure detector only needs to hear about replies from
+            # peers it has a record for (i.e. ones that timed out before).
+            peers = self.detector.peers
+            if peers and pending.dst in peers:
+                self.detector.record_reply(pending.dst, self.sim.now)
             if payload.ok:
                 if pending.on_reply is not None:
                     pending.on_reply(payload.result)

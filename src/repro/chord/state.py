@@ -15,12 +15,14 @@ from ..ids.idspace import IdSpace
 from ..net.addressing import NodeAddress
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NodeInfo:
     """A routing-table entry: an id and how to reach it.
 
     In Verme the node's type is *derivable from the id* (the middle
     bits), so entries never need to carry a separate type field.
+    Slotted: entries are created per routing-table merge and per lookup
+    result, and the dict-less layout keeps that allocation cheap.
     """
 
     node_id: int
@@ -47,6 +49,9 @@ class NeighborList:
         self._limit = limit
         self._clockwise = clockwise
         self._entries: List[NodeInfo] = []
+        #: Bumped whenever the entry list actually changes content; the
+        #: routing fast path uses it to cache a derived candidate list.
+        self.version = 0
 
     def _distance(self, info: NodeInfo) -> int:
         if self._clockwise:
@@ -56,6 +61,17 @@ class NeighborList:
     @property
     def entries(self) -> List[NodeInfo]:
         return list(self._entries)
+
+    @property
+    def entries_view(self) -> List[NodeInfo]:
+        """The internal entry list *without* the defensive copy.
+
+        Mutating operations rebind ``_entries`` rather than mutate it,
+        so a view taken here stays stable for the duration of a routing
+        scan; callers must treat it as read-only.  This is the
+        allocation-free path the per-hop routing loops use.
+        """
+        return self._entries
 
     @property
     def first(self) -> Optional[NodeInfo]:
@@ -78,18 +94,43 @@ class NeighborList:
                 continue
             # A fresher incarnation of the same id replaces the old entry.
             by_id[info.node_id] = info
-        ordered = sorted(by_id.values(), key=self._distance)
-        self._entries = ordered[: self._limit]
+        # Sort key inlined from _distance: merges run on every
+        # stabilization round, and the mask arithmetic is identical to
+        # IdSpace.distance.
+        owner = self._owner_id
+        mask = self._space.mask
+        if self._clockwise:
+            ordered = sorted(by_id.values(), key=lambda e: (e.node_id - owner) & mask)
+        else:
+            ordered = sorted(by_id.values(), key=lambda e: (owner - e.node_id) & mask)
+        new_entries = ordered[: self._limit]
+        # Steady-state stabilization merges usually reproduce the same
+        # list; skipping the rebind keeps ``version`` stable so derived
+        # caches survive.
+        if new_entries != self._entries:
+            self._entries = new_entries
+            self.version += 1
 
     def replace(self, entries: Iterable[NodeInfo]) -> None:
+        had_entries = bool(self._entries)
         self._entries = []
         self.merge(entries)
+        if had_entries and not self._entries:
+            # merge() compared against the fresh empty list and saw no
+            # change; the replacement itself still emptied the list.
+            self.version += 1
 
     def remove_address(self, address: NodeAddress) -> None:
-        self._entries = [e for e in self._entries if e.address != address]
+        kept = [e for e in self._entries if e.address != address]
+        if len(kept) != len(self._entries):
+            self._entries = kept
+            self.version += 1
 
     def remove_id(self, node_id: int) -> None:
-        self._entries = [e for e in self._entries if e.node_id != node_id]
+        kept = [e for e in self._entries if e.node_id != node_id]
+        if len(kept) != len(self._entries):
+            self._entries = kept
+            self.version += 1
 
 
 class FingerTable:
@@ -102,18 +143,27 @@ class FingerTable:
 
     def __init__(self) -> None:
         self._fingers: Dict[int, NodeInfo] = {}
+        #: Bumped on content change (see NeighborList.version).
+        self.version = 0
 
     def set(self, k: int, info: Optional[NodeInfo]) -> None:
         if info is None:
-            self._fingers.pop(k, None)
-        else:
+            if self._fingers.pop(k, None) is not None:
+                self.version += 1
+        elif self._fingers.get(k) != info:
             self._fingers[k] = info
+            self.version += 1
 
     def get(self, k: int) -> Optional[NodeInfo]:
         return self._fingers.get(k)
 
     def entries(self) -> List[NodeInfo]:
         return list(self._fingers.values())
+
+    def values(self):
+        """Live no-copy view of the finger entries, in finger order of
+        insertion (read-only; the routing scan's allocation-free path)."""
+        return self._fingers.values()
 
     def items(self):
         return list(self._fingers.items())
@@ -122,6 +172,8 @@ class FingerTable:
         dead = [k for k, e in self._fingers.items() if e.address == address]
         for k in dead:
             del self._fingers[k]
+        if dead:
+            self.version += 1
 
     def __len__(self) -> int:
         return len(self._fingers)

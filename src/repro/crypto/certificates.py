@@ -24,7 +24,7 @@ from ..ids.assignment import NodeType
 _key_counter = itertools.count(1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class KeyPair:
     """A simulated asymmetric key pair (opaque integers)."""
 
@@ -40,7 +40,7 @@ class KeyPair:
         return self.public == public
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NodeCertificate:
     """Binds a node id to a public key and a *claimed* platform type.
 

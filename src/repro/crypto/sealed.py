@@ -19,7 +19,7 @@ class SealError(PermissionError):
     """Attempt to open a sealed payload with the wrong key."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SealedPayload:
     """A payload readable only by the owner of ``recipient_public_key``."""
 

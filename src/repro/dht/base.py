@@ -50,7 +50,7 @@ class DhtConfig:
         return max(1, self.num_replicas // 2)
 
 
-@dataclass
+@dataclass(slots=True)
 class OpResult:
     """Outcome of one client get/put as seen by the caller."""
 
@@ -73,7 +73,7 @@ def next_op_tag() -> int:
     return next(_op_tags)
 
 
-@dataclass
+@dataclass(slots=True)
 class _Op:
     op: str
     key: int
@@ -153,7 +153,7 @@ class DhtNode:
             latency_s=self.node.sim.now - op.started_at,
             error=error,
         )
-        self.node.sim.schedule(0.0, op.on_done, result)
+        self.node.sim.call_after(0.0, op.on_done, result)
 
     # -- wire sizes ----------------------------------------------------------------
 
@@ -203,7 +203,7 @@ class DhtNode:
             ctx.fail(str(exc))
             return
         if params.get("replicate", True):
-            self.node.sim.schedule(0.0, self._replicate_key, key)
+            self.node.sim.call_after(0.0, self._replicate_key, key)
         ctx.respond({})
 
     def _h_offer(self, params: dict, ctx: RpcContext) -> None:

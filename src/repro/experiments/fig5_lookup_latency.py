@@ -27,7 +27,7 @@ from ..chord.lookup import LookupStyle
 from ..chord.ring import ChurnDriver, LookupWorkload
 from ..ids.idspace import IdSpace
 from ..ids.sections import VermeIdLayout
-from ..net.king import king_matrix
+from ..net.king import KingCoordinates, king_matrix
 from ..net.network import Network
 from ..sim import RngRegistry, Simulator
 from .builders import build_ring
@@ -55,6 +55,10 @@ class Fig5Config:
     finger_interval_s: float = 60.0
     runs: int = 1                          # paper: 8
     seed: int = 0
+    #: ``"king-matrix"`` (dense, the default — exact historical
+    #: behaviour) or ``"king-coords"`` (O(n)-state scalar model, the
+    #: only feasible choice at >=10k nodes; see repro.net.king).
+    latency_model: str = "king-matrix"
 
     def paper_scale(self) -> "Fig5Config":
         return replace(
@@ -103,11 +107,21 @@ def run_cell_instrumented(
         derive_seed(config.seed, f"fig5:{system}:{mean_lifetime_s}:{run_index}")
     )
     sim = Simulator()
-    latency = king_matrix(
-        num_hosts=config.num_nodes,
-        mean_rtt_s=config.mean_rtt_s,
-        seed=rngs.stream("king").randrange(2**31),
-    )
+    king_seed = rngs.stream("king").randrange(2**31)
+    if config.latency_model == "king-matrix":
+        latency = king_matrix(
+            num_hosts=config.num_nodes,
+            mean_rtt_s=config.mean_rtt_s,
+            seed=king_seed,
+        )
+    elif config.latency_model == "king-coords":
+        latency = KingCoordinates(
+            num_hosts=config.num_nodes,
+            mean_rtt_s=config.mean_rtt_s,
+            seed=king_seed,
+        )
+    else:
+        raise ValueError(f"unknown latency model {config.latency_model!r}")
     network = Network(sim, latency)
     overlay_cfg = config.overlay_config()
     layout = None

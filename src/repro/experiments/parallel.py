@@ -37,6 +37,12 @@ from .ablations import (
     run_naive_finger_ablation,
     run_replication_availability,
 )
+from .dht_ops import (
+    DHT_SYSTEMS,
+    DhtCellResult,
+    DhtExperimentConfig,
+    run_dht_cell,
+)
 from .fig5_lookup_latency import SYSTEMS as FIG5_SYSTEMS
 from .fig5_lookup_latency import Fig5Config, average_fig5_rows, run_cell
 from .fig8_worm_propagation import (
@@ -186,6 +192,20 @@ def run_fig5_parallel(
             rows.append(average_fig5_rows(flat[index : index + config.runs]))
             index += config.runs
     return rows
+
+
+# -- fig6/7 (DHT operations) ---------------------------------------------------
+
+
+def run_dht_parallel(
+    config: DhtExperimentConfig,
+    systems: Sequence[str] = tuple(DHT_SYSTEMS),
+    workers: Optional[int] = None,
+) -> List[DhtCellResult]:
+    """Drop-in parallel ``run_dht_experiment``: one cell per system,
+    results in system order."""
+    cells: List[Cell] = [(run_dht_cell, (config, system)) for system in systems]
+    return map_cells(cells, workers)
 
 
 # -- ablations -----------------------------------------------------------------

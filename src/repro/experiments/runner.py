@@ -3,8 +3,8 @@
 Regenerate any paper figure (or the ablations) from the shell::
 
     python -m repro.experiments.runner fig5 [--paper-scale] [--workers N]
-    python -m repro.experiments.runner fig6
-    python -m repro.experiments.runner fig7
+    python -m repro.experiments.runner fig6 [--workers N]
+    python -m repro.experiments.runner fig7 [--workers N]
     python -m repro.experiments.runner fig8 [--runs 10] [--workers N]
     python -m repro.experiments.runner resilience
     python -m repro.experiments.runner ablations [--workers N]
@@ -13,7 +13,7 @@ Scaled-down parameters by default (seconds to minutes); ``--paper-scale``
 switches to the paper's §7 configurations (minutes to an hour).
 
 ``--workers N`` fans the independent (system/scenario, seed) cells of
-fig5/fig8/ablations across N processes (see
+fig5/fig6/fig7/fig8/ablations across N processes (see
 :mod:`repro.experiments.parallel`); the default of 1 runs everything
 serially, in-process, and the output is bit-identical either way.
 """
@@ -29,7 +29,7 @@ from pathlib import Path
 from ..analysis.export import write_rows_csv, write_series_csv
 from ..analysis.tables import format_table
 from ..worm import ENGINES, WormScenarioConfig
-from .dht_ops import DhtExperimentConfig, run_dht_experiment
+from .dht_ops import DhtExperimentConfig
 from .fig5_lookup_latency import Fig5Config
 from .fig8_worm_propagation import Fig8Config, curve_series, summarise_fig8_runs
 from .parallel import (
@@ -37,6 +37,7 @@ from .parallel import (
     last_peak_rss_kib,
     last_worker_rss_kib,
     run_ablations_parallel,
+    run_dht_parallel,
     run_fig5_parallel,
     run_fig8_cells,
 )
@@ -63,7 +64,7 @@ def _fig67(args, which: str) -> None:
     cfg = DhtExperimentConfig(num_nodes=400, num_sections=32)
     if args.paper_scale:
         cfg = cfg.paper_scale()
-    results = run_dht_experiment(cfg)
+    results = run_dht_parallel(cfg, workers=args.workers)
     if args.csv:
         flat = [row for res in results for row in res.rows()]
         print(f"wrote {write_rows_csv(Path(args.csv) / (which + '.csv'), flat)}")
@@ -174,8 +175,8 @@ def main(argv=None) -> int:
              "reference implementation)")
     parser.add_argument(
         "--workers", type=int, default=1, metavar="N",
-        help="processes for fig5/fig8/ablations cells (1 = serial, "
-             "bit-identical output either way)")
+        help="processes for fig5/fig6/fig7/fig8/ablations cells (1 = "
+             "serial, bit-identical output either way)")
     parser.add_argument(
         "--profile", action="store_true",
         help="run under cProfile and write profile_<figure>.pstats "

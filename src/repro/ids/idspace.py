@@ -17,17 +17,23 @@ DEFAULT_ID_BITS = 160
 
 @dataclass(frozen=True)
 class IdSpace:
-    """A ring of ``2**bits`` identifiers with clockwise interval tests."""
+    """A ring of ``2**bits`` identifiers with clockwise interval tests.
+
+    ``size`` and ``mask`` (``size - 1``) are plain attributes computed
+    once at construction: the interval predicates run millions of times
+    per simulated experiment, and recomputing ``1 << bits`` per call
+    used to dominate their cost.  Both are derived from ``bits`` and
+    excluded from equality/hashing (which stay ``bits``-only).
+    """
 
     bits: int = DEFAULT_ID_BITS
 
     def __post_init__(self) -> None:
         if self.bits < 1:
             raise ValueError("id space needs at least one bit")
-
-    @property
-    def size(self) -> int:
-        return 1 << self.bits
+        # Non-field caches on a frozen dataclass; eq/hash ignore them.
+        object.__setattr__(self, "size", 1 << self.bits)
+        object.__setattr__(self, "mask", (1 << self.bits) - 1)
 
     def validate(self, ident: int) -> int:
         """Return ``ident`` if it is a valid id, else raise ``ValueError``."""
@@ -37,11 +43,11 @@ class IdSpace:
 
     def wrap(self, value: int) -> int:
         """Reduce an arbitrary integer onto the ring."""
-        return value & (self.size - 1)
+        return value & self.mask
 
     def distance(self, a: int, b: int) -> int:
         """Clockwise distance from ``a`` to ``b`` (0 when equal)."""
-        return (b - a) & (self.size - 1)
+        return (b - a) & self.mask
 
     def in_open(self, x: int, a: int, b: int) -> bool:
         """True iff ``x`` lies in the clockwise-open interval ``(a, b)``.
@@ -52,19 +58,22 @@ class IdSpace:
         """
         if a == b:
             return x != a
-        return 0 < self.distance(a, x) < self.distance(a, b)
+        mask = self.mask
+        return 0 < (x - a) & mask < (b - a) & mask
 
     def in_half_open(self, x: int, a: int, b: int) -> bool:
         """True iff ``x`` lies in ``(a, b]`` walking clockwise."""
         if a == b:
             return True
-        return 0 < self.distance(a, x) <= self.distance(a, b)
+        mask = self.mask
+        return 0 < (x - a) & mask <= (b - a) & mask
 
     def in_closed_open(self, x: int, a: int, b: int) -> bool:
         """True iff ``x`` lies in ``[a, b)`` walking clockwise."""
         if a == b:
             return True
-        return self.distance(a, x) < self.distance(a, b)
+        mask = self.mask
+        return (x - a) & mask < (b - a) & mask
 
     def power_of_two_target(self, ident: int, k: int) -> int:
         """Chord's k-th finger target: ``ident + 2**k`` on the ring."""

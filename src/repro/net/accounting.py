@@ -21,15 +21,24 @@ class ByteAccounting:
         self.messages_by_category: Dict[str, int] = defaultdict(int)
         self.bytes_by_op: Dict[int, int] = defaultdict(int)
         self.dropped_by_cause: Dict[str, int] = defaultdict(int)
-        self.total_bytes = 0
-        self.total_messages = 0
         self.total_dropped = 0
+
+    # The grand totals are derived from the per-category buckets rather
+    # than maintained alongside them: recording runs once per simulated
+    # packet (the accounting hot path, inlined in Network.send), while
+    # the totals are read a handful of times per experiment.
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_category.values())
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages_by_category.values())
 
     def record(self, category: str, size: int, op_tag: Optional[int] = None) -> None:
         self.bytes_by_category[category] += size
         self.messages_by_category[category] += 1
-        self.total_bytes += size
-        self.total_messages += 1
         if op_tag is not None:
             self.bytes_by_op[op_tag] += size
 
@@ -53,6 +62,4 @@ class ByteAccounting:
         self.messages_by_category.clear()
         self.bytes_by_op.clear()
         self.dropped_by_cause.clear()
-        self.total_bytes = 0
-        self.total_messages = 0
         self.total_dropped = 0

@@ -8,23 +8,51 @@ node which leaves and is replaced by a fresh node on the same machine
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
-
-@dataclass(frozen=True)
 class NodeAddress:
     """An endpoint: a host slot plus an incarnation number.
 
     Two incarnations of the same host slot are *different* endpoints —
     messages addressed to a dead incarnation are dropped even if a new
     node has since joined from the same host.
+
+    Addresses key every endpoint table and routing-state lookup, so
+    this is a ``__slots__`` class with the hash precomputed once: the
+    tuple-building ``__hash__`` a frozen dataclass generates showed up
+    as a top-ten cost in protocol-heavy profiles.  Treat instances as
+    immutable (equality and the cached hash assume it).
     """
 
-    host_slot: int
-    incarnation: int = 0
+    __slots__ = ("host_slot", "incarnation", "_hash")
+
+    def __init__(self, host_slot: int, incarnation: int = 0) -> None:
+        self.host_slot = host_slot
+        self.incarnation = incarnation
+        self._hash = hash((host_slot, incarnation))
 
     def next_incarnation(self) -> "NodeAddress":
         return NodeAddress(self.host_slot, self.incarnation + 1)
 
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, NodeAddress):
+            return (
+                self.host_slot == other.host_slot
+                and self.incarnation == other.incarnation
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"NodeAddress(host_slot={self.host_slot}, incarnation={self.incarnation})"
+
     def __str__(self) -> str:
         return f"h{self.host_slot}.{self.incarnation}"
+
+    def __getstate__(self):
+        return (self.host_slot, self.incarnation)
+
+    def __setstate__(self, state) -> None:
+        self.host_slot, self.incarnation = state
+        self._hash = hash(state)

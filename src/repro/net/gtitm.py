@@ -21,13 +21,64 @@ minimum of the two access-link bandwidths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import networkx as nx
 import numpy as np
 
 from .latency import MatrixBandwidth, MatrixLatency
+
+
+class HostLatency:
+    """Host-pair latency computed from O(routers^2) state.
+
+    The dense host matrix costs ``hosts^2`` floats (800 MB at 10k
+    hosts), but every entry is just ``router_dist + 2 * access``: the
+    per-pair information lives entirely in the *router* distance matrix
+    (a few hundred routers regardless of host count).  This model keeps
+    the router matrix plus the host→router mapping and evaluates pairs
+    on demand — bit-identical to the dense matrix (same float64 sum of
+    the same two terms), with no ``row`` view (a row is the O(hosts)
+    object this model exists to avoid).
+    """
+
+    def __init__(
+        self,
+        router_dist_rows: List[List[float]],
+        host_router_index: List[int],
+        access_latency_s: float,
+    ) -> None:
+        self._rows = router_dist_rows
+        self._host_r = host_router_index
+        # Matches the dense path's ``+ 2 * access`` term exactly.
+        self._two_access = 2 * access_latency_s
+        self.num_hosts = len(host_router_index)
+
+    def latency(self, a: int, b: int) -> float:
+        if a == b:
+            return 0.0
+        host_r = self._host_r
+        return self._rows[host_r[a]][host_r[b]] + self._two_access
+
+
+class HostBandwidth:
+    """Host-pair bandwidth from per-host access links, O(hosts) state.
+
+    A transfer from ``a`` to ``b`` is bottlenecked by ``a``'s uplink or
+    ``b``'s downlink, whichever is slower — the same ``min`` the dense
+    ``hosts^2`` matrix tabulates.
+    """
+
+    def __init__(self, host_up: List[float], host_down: List[float]) -> None:
+        self._up = host_up
+        self._down = host_down
+        self.num_hosts = len(host_up)
+
+    def bandwidth(self, a: int, b: int) -> float:
+        up = self._up[a]
+        down = self._down[b]
+        return up if up < down else down
 
 
 @dataclass(frozen=True)
@@ -85,21 +136,23 @@ class GtItmConfig:
 
 @dataclass
 class GtItmTopology:
-    """The generated topology plus the derived host-pair matrices."""
+    """The generated topology plus the derived host-pair models.
+
+    The scalar :attr:`host_latency` / :attr:`host_bandwidth` models are
+    built eagerly from the O(routers^2) shortest-path matrix and are
+    what the DHT experiments feed to the network — they scale to any
+    host count.  The dense :attr:`latency` / :attr:`bandwidth` matrices
+    are equivalent tabulations, built lazily (only topology tests and
+    small analyses want a whole ``hosts^2`` matrix in memory).
+    """
 
     config: GtItmConfig
     router_graph: nx.Graph
     host_router: np.ndarray          # router index per host
     host_down_bw: np.ndarray         # download bytes/s per host
     host_up_bw: np.ndarray           # upload bytes/s per host
-    latency: MatrixLatency = field(init=False)
-    bandwidth: MatrixBandwidth = field(init=False)
 
     def __post_init__(self) -> None:
-        self.latency = MatrixLatency(self._host_latency_matrix())
-        self.bandwidth = MatrixBandwidth(self._host_bandwidth_matrix())
-
-    def _host_latency_matrix(self) -> np.ndarray:
         routers = sorted(self.router_graph.nodes())
         index = {r: i for i, r in enumerate(routers)}
         n_routers = len(routers)
@@ -110,12 +163,38 @@ class GtItmTopology:
             i = index[src]
             for dst, d in lengths.items():
                 dist[i, index[dst]] = d
-        host_r = np.array([index[r] for r in self.host_router])
-        access = self.config.access_latency_s
-        matrix = dist[np.ix_(host_r, host_r)] + 2 * access
-        np.fill_diagonal(matrix, 0.0)
-        if np.isinf(matrix).any():
+        if np.isinf(dist).any():
             raise ValueError("router graph is not connected")
+        self._router_dist = dist
+        self._host_r: List[int] = [index[r] for r in self.host_router]
+        self.host_latency = HostLatency(
+            dist.tolist(), self._host_r, self.config.access_latency_s
+        )
+        self.host_bandwidth = HostBandwidth(
+            self.host_up_bw.tolist(), self.host_down_bw.tolist()
+        )
+        self._latency: Optional[MatrixLatency] = None
+        self._bandwidth: Optional[MatrixBandwidth] = None
+
+    @property
+    def latency(self) -> MatrixLatency:
+        """Dense host-pair latency matrix (lazy; O(hosts^2) memory)."""
+        if self._latency is None:
+            self._latency = MatrixLatency(self._host_latency_matrix())
+        return self._latency
+
+    @property
+    def bandwidth(self) -> MatrixBandwidth:
+        """Dense host-pair bandwidth matrix (lazy; O(hosts^2) memory)."""
+        if self._bandwidth is None:
+            self._bandwidth = MatrixBandwidth(self._host_bandwidth_matrix())
+        return self._bandwidth
+
+    def _host_latency_matrix(self) -> np.ndarray:
+        host_r = np.array(self._host_r)
+        access = self.config.access_latency_s
+        matrix = self._router_dist[np.ix_(host_r, host_r)] + 2 * access
+        np.fill_diagonal(matrix, 0.0)
         return matrix
 
     def _host_bandwidth_matrix(self) -> np.ndarray:

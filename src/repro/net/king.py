@@ -19,6 +19,9 @@ DESIGN.md §5 for the substitution argument.
 
 from __future__ import annotations
 
+import math
+from typing import Dict, List
+
 import numpy as np
 
 from .latency import MatrixLatency
@@ -59,3 +62,89 @@ def king_matrix(
     one_way *= mean_rtt_s / current_mean_rtt
     np.fill_diagonal(one_way, 0.0)
     return MatrixLatency(one_way)
+
+
+class KingCoordinates:
+    """O(n)-state King-style latency model for large host counts.
+
+    :func:`king_matrix` materialises a dense ``(n, n)`` matrix — 800 MB
+    of float64 at 10k hosts before counting the construction
+    temporaries — which caps the lookup experiments near 2k hosts.
+    This model keeps only per-host state (coordinates plus two jitter
+    factors) and computes each directed pair's one-way delay on demand:
+
+    * the same low-dimensional Euclidean geography as the matrix model,
+    * per-host *outgoing* and *incoming* lognormal factors whose product
+      plays the role of the matrix model's per-pair jitter (each drawn
+      with ``sigma/sqrt(2)`` so the product of two independent factors
+      has the same lognormal sigma as one per-pair draw),
+    * the same latency floor, and
+    * scale calibration from a fixed-size random sample of directed
+      pairs (exact summation over 10k^2 pairs would defeat the point).
+
+    Computed pairs are memoised in a plain dict keyed by
+    ``a * num_hosts + b``, so steady-state overlay traffic — each node
+    talking to a bounded peer set — pays the trigonometry once per
+    directed edge and a dict hit afterwards.  There is deliberately no
+    ``row`` view: materialising rows is exactly the O(n^2) cost this
+    model exists to avoid, so :class:`~repro.net.network.Network` uses
+    the scalar protocol path.
+    """
+
+    def __init__(
+        self,
+        num_hosts: int,
+        mean_rtt_s: float = KING_MEAN_RTT_S,
+        seed: int = 0,
+        dimensions: int = 5,
+        jitter_sigma: float = 0.25,
+        floor_s: float = 0.002,
+        calibration_pairs: int = 200_000,
+    ) -> None:
+        if num_hosts < 2:
+            raise ValueError("need at least two hosts")
+        rng = np.random.default_rng(seed)
+        points = rng.random((num_hosts, dimensions))
+        sigma = jitter_sigma / math.sqrt(2.0)
+        out = rng.lognormal(mean=0.0, sigma=sigma, size=num_hosts)
+        incoming = rng.lognormal(mean=0.0, sigma=sigma, size=num_hosts)
+        self.num_hosts = num_hosts
+        self.floor_s = floor_s
+        # Calibrate the overall scale on a sample of directed pairs so
+        # the mean RTT matches ``mean_rtt_s`` (in expectation; the
+        # sample mean of >=2e5 pairs is well within a percent).
+        m = min(calibration_pairs, num_hosts * (num_hosts - 1))
+        a = rng.integers(0, num_hosts, size=m)
+        b = rng.integers(0, num_hosts, size=m)
+        distinct = a != b
+        a, b = a[distinct], b[distinct]
+        base = np.sqrt(((points[a] - points[b]) ** 2).sum(axis=1))
+        fwd = np.maximum(base * out[a] * incoming[b], floor_s)
+        rev = np.maximum(base * out[b] * incoming[a], floor_s)
+        self._scale = float(mean_rtt_s / (fwd + rev).mean())
+        # Plain-Python per-host state: the scalar path runs once per
+        # uncached directed pair, in pure Python.
+        self._points: List[List[float]] = points.tolist()
+        self._out: List[float] = out.tolist()
+        self._in: List[float] = incoming.tolist()
+        self._cache: Dict[int, float] = {}
+
+    def latency(self, a: int, b: int) -> float:
+        if a == b:
+            return 0.0
+        key = a * self.num_hosts + b
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        pa = self._points[a]
+        pb = self._points[b]
+        total = 0.0
+        for i in range(len(pa)):
+            d = pa[i] - pb[i]
+            total += d * d
+        one_way = math.sqrt(total) * self._out[a] * self._in[b]
+        if one_way < self.floor_s:
+            one_way = self.floor_s
+        value = one_way * self._scale
+        self._cache[key] = value
+        return value

@@ -11,7 +11,6 @@ a message carries.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from .addressing import NodeAddress
@@ -27,15 +26,17 @@ RPC_META_BYTES = 12         # request ids, opcodes, flags
 DEFAULT_BLOCK_BYTES = 8192  # DHash's classic 8 KiB block
 
 
+ENTRY_BYTES = ID_BYTES + ADDR_BYTES  # one routing-table entry on the wire
+
+
 def entry_bytes() -> int:
     """Wire size of one routing-table entry (id + network address)."""
-    return ID_BYTES + ADDR_BYTES
+    return ENTRY_BYTES
 
 
 _msg_counter = itertools.count()
 
 
-@dataclass
 class Message:
     """One simulated packet.
 
@@ -44,16 +45,34 @@ class Message:
     ``category`` buckets the message for maintenance-vs-lookup
     accounting; ``op_tag`` attributes it to one DHT operation for the
     per-operation bandwidth figures.
+
+    A plain ``__slots__`` class: one instance exists per simulated
+    packet, making this the single hottest allocation of the live
+    protocol stack.
     """
 
-    src: NodeAddress
-    dst: NodeAddress
-    payload: Any
-    size: int
-    category: str = "other"
-    op_tag: Optional[int] = None
-    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+    __slots__ = ("src", "dst", "payload", "size", "category", "op_tag", "msg_id")
 
-    def __post_init__(self) -> None:
-        if self.size < HEADER_BYTES:
-            self.size = HEADER_BYTES
+    def __init__(
+        self,
+        src: NodeAddress,
+        dst: NodeAddress,
+        payload: Any,
+        size: int,
+        category: str = "other",
+        op_tag: Optional[int] = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size = size if size >= HEADER_BYTES else HEADER_BYTES
+        self.category = category
+        self.op_tag = op_tag
+        self.msg_id = next(_msg_counter)
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(src={self.src}, dst={self.dst}, size={self.size}, "
+            f"category={self.category!r}, op_tag={self.op_tag}, "
+            f"msg_id={self.msg_id})"
+        )

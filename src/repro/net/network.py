@@ -21,15 +21,16 @@ dead incarnations, and injected faults apart:
 
 from __future__ import annotations
 
+import heapq
 import random
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Sequence
 
 from ..faults.plan import FaultPlan
 from ..sim import Simulator
 from .accounting import ByteAccounting
 from .addressing import NodeAddress
 from .latency import BandwidthModel, LatencyModel
-from .message import Message
+from .message import HEADER_BYTES, Message, _msg_counter
 
 Handler = Callable[[Message], None]
 
@@ -63,7 +64,7 @@ class Network:
         if contended_uplinks and bandwidth_model is None:
             raise ValueError("contended uplinks require a bandwidth model")
         self.sim = sim
-        self.latency_model = latency_model
+        self.latency_model = latency_model  # property: also primes row caches
         self.bandwidth_model = bandwidth_model
         self.accounting = accounting if accounting is not None else ByteAccounting()
         self.loss_rate = loss_rate
@@ -76,11 +77,28 @@ class Network:
         # Send fast path: matrix models expose a row view of plain
         # Python floats (no per-call numpy-scalar churn); fall back to
         # the scalar protocol methods for anything else.
-        self._latency_row = getattr(latency_model, "row", None)
         self._bandwidth_row = (
             getattr(bandwidth_model, "row", None)
             if bandwidth_model is not None
             else None
+        )
+        # A single bound delivery callback avoids a per-send allocation.
+        self._deliver_cb = self._deliver
+
+    @property
+    def latency_model(self) -> LatencyModel:
+        return self._latency_model
+
+    @latency_model.setter
+    def latency_model(self, model: LatencyModel) -> None:
+        """Swapping the model (tests do) also refreshes the send fast
+        path: the optional ``row`` view and the per-source row cache
+        (``None`` for scalar-only models, which skips the cache branch
+        entirely on :meth:`send`)."""
+        self._latency_model = model
+        self._latency_row = getattr(model, "row", None)
+        self._lat_rows: Optional[Dict[int, Sequence[float]]] = (
+            {} if self._latency_row is not None else None
         )
 
     # -- membership ----------------------------------------------------------
@@ -140,8 +158,13 @@ class Network:
         """
         src_slot = src.host_slot
         dst_slot = dst.host_slot
-        msg = Message(src, dst, payload, size, category, op_tag)
-        self.accounting.record(category, size, op_tag)
+        # Inlined ByteAccounting.record: one call per simulated packet
+        # (the grand totals are derived properties, not maintained here).
+        acct = self.accounting
+        acct.bytes_by_category[category] += size
+        acct.messages_by_category[category] += 1
+        if op_tag is not None:
+            acct.bytes_by_op[op_tag] += size
         if self.loss_rate and self._loss_rng.random() < self.loss_rate:
             self._drop(CAUSE_LOSS)
             return
@@ -152,18 +175,50 @@ class Network:
                 self._drop(verdict.cause or "fault")
                 return
             extra_latency = verdict.extra_latency_s
-        latency_row = self._latency_row
-        if latency_row is not None:
-            latency = latency_row(src_slot)[dst_slot] + extra_latency
+        rows = self._lat_rows
+        if rows is not None:
+            # Rows are cached after a host's first send, so the hit path
+            # is two plain subscripts (the except costs nothing then).
+            try:
+                latency = rows[src_slot][dst_slot]
+            except KeyError:
+                latency = (rows.setdefault(src_slot, self._latency_row(src_slot)))[
+                    dst_slot
+                ]
         else:
-            latency = self.latency_model.latency(src_slot, dst_slot) + extra_latency
-        bandwidth = None
-        if self.bandwidth_model is not None:
-            bandwidth_row = self._bandwidth_row
-            if bandwidth_row is not None:
-                bandwidth = bandwidth_row(src_slot)[dst_slot]
-            else:
-                bandwidth = self.bandwidth_model.bandwidth(src_slot, dst_slot)
+            latency = self.latency_model.latency(src_slot, dst_slot)
+        if extra_latency:
+            latency += extra_latency
+        # The Message is only materialised once the drop checks have
+        # passed (a dropped send costs no allocation), and its __init__
+        # is inlined — one instance per packet makes this the fabric's
+        # hottest allocation.
+        msg = Message.__new__(Message)
+        msg.src = src
+        msg.dst = dst
+        msg.payload = payload
+        msg.size = size if size >= HEADER_BYTES else HEADER_BYTES
+        msg.category = category
+        msg.op_tag = op_tag
+        msg.msg_id = next(_msg_counter)
+        bandwidth_model = self.bandwidth_model
+        if bandwidth_model is None:
+            # Fire-and-forget delivery with Simulator.call_after inlined:
+            # one heap entry per packet, no handle, no extra frame.
+            # (latency is non-negative by model contract.)
+            sim = self.sim
+            seq = sim._next_seq
+            sim._next_seq = seq + 1
+            heapq.heappush(
+                sim._queue, (sim._now + latency, seq, self._deliver_cb, (msg,))
+            )
+            sim._live += 1
+            return
+        bandwidth_row = self._bandwidth_row
+        if bandwidth_row is not None:
+            bandwidth = bandwidth_row(src_slot)[dst_slot]
+        else:
+            bandwidth = bandwidth_model.bandwidth(src_slot, dst_slot)
         if self.contended_uplinks and bandwidth:
             # Serialise on the sender's uplink: this transfer starts
             # when the previous one has fully departed.
@@ -173,15 +228,15 @@ class Network:
             self._uplink_free_at[src_slot] = departure
             self.sim.call_after(departure - now + latency, self._deliver, msg)
             return
-        # Delivery is fire-and-forget: use the kernel's no-handle path.
         if bandwidth:
             self.sim.call_after(latency + size / bandwidth, self._deliver, msg)
         else:
             self.sim.call_after(latency, self._deliver, msg)
 
     def _deliver(self, msg: Message) -> None:
-        handler = self._endpoints.get(msg.dst)
-        if handler is None:
+        try:
+            handler = self._endpoints[msg.dst]
+        except KeyError:
             self._drop(CAUSE_DEAD)
             return
         handler(msg)

@@ -34,6 +34,7 @@ Performance notes (the kernel is the hot path of every experiment):
 from __future__ import annotations
 
 import heapq
+import sys
 from typing import Any, Callable, Optional
 
 
@@ -76,8 +77,21 @@ class EventHandle:
             return
         was_pending = not self._fired
         self._cancelled = True
-        if was_pending and self._sim is not None:
-            self._sim._note_cancel()
+        if was_pending:
+            # Inlined Simulator._note_cancel: timeout cancellation is the
+            # single most frequent bookkeeping call of RPC-heavy runs
+            # (every answered call cancels its timer).
+            sim = self._sim
+            if sim is None:
+                return
+            if sim._live > 0:
+                sim._live -= 1
+            sim._cancelled_in_queue += 1
+            queue = sim._queue
+            if len(queue) > _MIN_COMPACT_SIZE and 2 * sim._cancelled_in_queue > len(
+                queue
+            ):
+                sim._compact()
 
     @property
     def cancelled(self) -> bool:
@@ -105,6 +119,17 @@ class Simulator:
     >>> sim.now
     2.0
     """
+
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_next_seq",
+        "_running",
+        "_events_processed",
+        "_live",
+        "_cancelled_in_queue",
+        "_run_until",
+    )
 
     def __init__(self) -> None:
         self._now = 0.0
@@ -184,7 +209,22 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        # Inlined schedule_at (minus the past-time check its absolute
+        # time argument needs) and EventHandle construction: this is the
+        # kernel's hottest entry point, called once per timer.
+        time = self._now + delay
+        handle = EventHandle.__new__(EventHandle)
+        handle.time = time
+        handle.callback = callback
+        handle.args = args
+        handle._cancelled = False
+        handle._fired = False
+        handle._sim = self
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        heapq.heappush(self._queue, (time, seq, handle))
+        self._live += 1
+        return handle
 
     def schedule_at(
         self, time: float, callback: Callable[..., None], *args: Any
@@ -258,7 +298,15 @@ class Simulator:
             raise SimulationError("Simulator.run() is not re-entrant")
         self._running = True
         self._run_until = until
+        # ``events_processed`` is a post-run metric (no callback reads it
+        # mid-run), so it accumulates in a local and flushes on exit.
+        # ``_live`` decrements for *fired* events ride the same counter
+        # (cancel() still updates ``_live`` directly, so its zero-floor
+        # guard stays conservative while the counter is unflushed).
         processed = 0
+        # An int sentinel keeps the per-event limit check an int/int
+        # comparison.
+        limit = max_events if max_events is not None else sys.maxsize
         queue = self._queue
         heappop = heapq.heappop
         try:
@@ -281,17 +329,13 @@ class Simulator:
                         else:
                             self._now = entry_time
                             handle._fired = True
-                            self._live -= 1
                             handle.callback(*handle.args)
-                            self._events_processed += 1
                             processed += 1
                     else:
                         self._now = entry_time
-                        self._live -= 1
                         entry[2](*entry[3])
-                        self._events_processed += 1
                         processed += 1
-                    if max_events is not None and processed >= max_events:
+                    if processed >= limit:
                         return
                     if queue and queue[0][0] == entry_time:
                         entry = heappop(queue)
@@ -300,6 +344,10 @@ class Simulator:
             if until is not None and until > self._now:
                 self._now = until
         finally:
+            self._events_processed += processed
+            self._live -= processed
+            if self._live < 0:
+                self._live = 0
             self._running = False
             self._run_until = None
 

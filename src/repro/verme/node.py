@@ -24,7 +24,12 @@ from typing import Callable, List, Optional, Set
 
 from ..chord.config import OverlayConfig
 from ..chord.lookup import LookupPurpose, LookupStyle
-from ..chord.node import ChordNode, _RouteDecision
+from ..chord.node import (
+    _DECISION_OWNER_SELF,
+    _DECISION_OWNER_SUCC,
+    ChordNode,
+    _RouteDecision,
+)
 from ..chord.state import NodeInfo
 from ..crypto.certificates import CertificateAuthority, KeyPair, NodeCertificate
 from ..crypto.sealed import SealError, seal
@@ -72,6 +77,11 @@ class VermeNode(ChordNode):
         self.keys = keys
         self.ca = ca
         self.verify_dht_lookup: Optional[DhtLookupVerifier] = None
+        # Per-hop constant: ``same_section(a, b)`` is just an equality of
+        # the ids shifted right by ``section_bits`` (all protocol ids are
+        # range-validated at creation), and the terminal/ownership
+        # decisions consult it once per routed message.
+        self._section_shift = layout.section_bits
         super().__init__(sim, network, config, cert.node_id, address, jitter_rng)
 
     # -- identity -------------------------------------------------------------
@@ -110,22 +120,32 @@ class VermeNode(ChordNode):
     # -- ownership ----------------------------------------------------------------
 
     def _terminal_decision(self, key: int, succ: NodeInfo) -> _RouteDecision:
-        if self.layout.same_section(succ.node_id, key):
-            return _RouteDecision(done=True, owner_is_self=False)
+        shift = self._section_shift
+        if (succ.node_id >> shift) == (key >> shift):
+            return _DECISION_OWNER_SUCC
         # Tail gap (or empty section): the key's predecessor — this node
         # — is responsible (§4.4 corner rule).
-        return _RouteDecision(done=True, owner_is_self=True)
+        return _DECISION_OWNER_SELF
 
     def _local_decision(
         self, key: int, exclude: Set[NodeAddress]
     ) -> Optional[_RouteDecision]:
-        pred = self.predecessor
-        if pred is None:
+        preds = self.predecessors._entries
+        if not preds:
             return None
-        if not self.space.in_half_open(key, pred.node_id, self.node_id):
+        pred = preds[0]
+        pred_id = pred.node_id
+        node_id = self.node_id
+        mask = self._mask
+        # in_half_open(key, pred_id, node_id), inlined.
+        if not (
+            pred_id == node_id
+            or 0 < (key - pred_id) & mask <= (node_id - pred_id) & mask
+        ):
             return None
-        if self.layout.same_section(self.node_id, key):
-            return _RouteDecision(done=True, owner_is_self=True)
+        shift = self._section_shift
+        if (node_id >> shift) == (key >> shift):
+            return _DECISION_OWNER_SELF
         # The key lies in the gap before this node's section, so its
         # *predecessor* owns it; hand the request back one step.
         if pred.address not in exclude:

@@ -99,6 +99,23 @@ def test_fig5_workers_bit_identical_to_serial():
     assert serial == parallel
 
 
+def test_dht_workers_bit_identical_to_serial():
+    """Fig. 6/7 cells through the pool must match the serial path
+    exactly — same per-op latencies and byte counts, same order."""
+    from repro.experiments.parallel import run_dht_parallel
+
+    cfg = DhtExperimentConfig(num_nodes=60, num_sections=8, num_puts=5, num_gets=5)
+    systems = ("dhash", "fast-verdi")
+    serial = run_dht_parallel(cfg, systems=systems, workers=1)
+    parallel = run_dht_parallel(cfg, systems=systems, workers=2)
+    assert [r.system for r in serial] == [r.system for r in parallel]
+    for a, b in zip(serial, parallel):
+        assert a.get_stats.latencies_s == b.get_stats.latencies_s
+        assert a.put_stats.latencies_s == b.put_stats.latencies_s
+        assert a.get_stats.bytes_used == b.get_stats.bytes_used
+        assert a.put_stats.bytes_used == b.put_stats.bytes_used
+
+
 def test_resilience_seed_changes_results():
     from repro.experiments import ResilienceConfig, run_resilience_cell
 

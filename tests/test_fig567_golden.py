@@ -1,0 +1,44 @@
+"""Recorded-golden guard for the fig5/6/7 metric outputs.
+
+The live-protocol fast path (slotted messages, cached interval
+arithmetic, allocation-free routing scans) is required to be a pure
+performance change: on the pinned seed workloads every reported metric
+— latency distributions, bandwidth counters, hop counts, failure rates
+— must match the records captured *before* the fast path landed,
+bit for bit.  ``scripts/capture_fig567_golden.py`` wrote the file;
+see its docstring for when regenerating is legitimate.
+"""
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.dht_ops import DhtExperimentConfig, run_dht_cell
+from repro.experiments.fig5_lookup_latency import Fig5Config, run_cell
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "fig567_golden.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize(
+    "system", ["chord-transitive", "chord-recursive", "verme"]
+)
+def test_fig5_metrics_bit_identical(golden, system):
+    cfg = Fig5Config(**golden["fig5_config"])
+    row = run_cell(cfg, system, golden["fig5_lifetime_s"])
+    assert asdict(row) == golden["fig5"][system]
+
+
+@pytest.mark.parametrize(
+    "system", ["dhash", "fast-verdi", "secure-verdi", "compromise-verdi"]
+)
+def test_fig67_metrics_bit_identical(golden, system):
+    cfg = DhtExperimentConfig(**golden["dht_config"])
+    result = run_dht_cell(cfg, system)
+    assert [asdict(r) for r in result.rows()] == golden["fig67"][system]

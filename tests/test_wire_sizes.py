@@ -1,0 +1,133 @@
+"""Wire-size regression tests (hand-computed byte totals).
+
+Declared message sizes feed the bandwidth results (paper Fig. 7)
+directly, so a silent size drift — e.g. an optimisation that reuses an
+envelope but forgets its certificate bytes — would skew the figures
+without failing any behavioural test.  These tests capture every
+message on the wire for one recursive Verme lookup and one Fast-VerDi
+fetch and check the sizes against totals computed by hand from the
+constants in :mod:`repro.net.message`:
+
+* Verme forward request: 52 (header + RPC meta) + 20 (key id)
+  + 128 (initiator certificate) = 200 bytes, + 6 (origin address) only
+  for transitive lookups;
+* Verme lookup result: 52 + 26 per returned entry + 32 sealing
+  overhead, relayed unchanged along the reverse path;
+* Fast-VerDi fetch request: 52 + 20 (key) + 128 (certificate) = 200;
+  fetch reply: 52 + value bytes + 32 sealing overhead.
+"""
+
+from repro.chord.rpc import MIN_RPC_BYTES, _Request
+from repro.dht import DhtConfig, FastVerDiNode
+from repro.net.message import (
+    CERT_BYTES,
+    ENTRY_BYTES,
+    ID_BYTES,
+    SEALED_OVERHEAD_BYTES,
+)
+
+from conftest import build_verme_ring
+
+FORWARD_BYTES = MIN_RPC_BYTES + ID_BYTES + CERT_BYTES  # 52 + 20 + 128
+
+
+def capture_sends(network):
+    """Record (method, category, size) for every subsequent send.
+
+    ``method`` is the RPC method for requests and ``None`` for replies
+    and non-RPC payloads.
+    """
+    sent = []
+    original = network.send
+
+    def recording_send(src, dst, payload, size, category="other", op_tag=None):
+        method = payload.method if type(payload) is _Request else None
+        sent.append((method, category, size))
+        original(src, dst, payload, size, category, op_tag)
+
+    network.send = recording_send
+    return sent
+
+
+def test_wire_constants_add_up():
+    # The hand-computed figures the docstring (and the paper's byte
+    # tables) quote, kept in sync with the constants.
+    assert MIN_RPC_BYTES == 52
+    assert FORWARD_BYTES == 200
+    assert ENTRY_BYTES == 26
+
+
+def test_verme_recursive_lookup_wire_bytes():
+    ring = build_verme_ring(num_nodes=64, num_sections=8, seed=11)
+    sent = capture_sends(ring.network)
+    node = ring.nodes[0]
+    # A key half the ring away guarantees a multi-hop route.
+    key = (node.node_id + (ring.config.space.size // 2)) & ring.config.space.mask
+    results = []
+    node.lookup(key, on_done=results.append)
+    ring.sim.run(until=ring.sim.now + 60)
+    (res,) = results
+    assert res.success
+    assert res.hops >= 1
+
+    lookup_msgs = [(m, s) for m, c, s in sent if c == "lookup"]
+    forwards = [s for m, s in lookup_msgs if m == "route_forward"]
+    returns = [s for m, s in lookup_msgs if m == "route_result"]
+    # Each forward hop is acknowledged with a minimum-size reply (the
+    # ack feeds the per-hop failure detector); nothing else rides the
+    # lookup category on a healthy static ring.
+    acks = [s for m, s in lookup_msgs if m is None]
+    assert acks and set(acks) == {MIN_RPC_BYTES}
+    assert len(acks) == len(forwards)
+    assert len(forwards) + len(returns) + len(acks) == len(lookup_msgs)
+
+    # Recursive lookups carry no origin address: every forward is
+    # exactly header + RPC meta + key + certificate.
+    assert forwards and set(forwards) == {FORWARD_BYTES}
+    # The result is sealed once and relayed unchanged back along the
+    # forward path — one return message per forward hop, each carrying
+    # all returned entries plus the sealing overhead.
+    result_bytes = (
+        MIN_RPC_BYTES + len(res.entries) * ENTRY_BYTES + SEALED_OVERHEAD_BYTES
+    )
+    assert returns and set(returns) == {result_bytes}
+    assert len(returns) == len(forwards)
+
+    total = sum(s for _, s in lookup_msgs)
+    assert total == len(forwards) * (FORWARD_BYTES + MIN_RPC_BYTES) + len(
+        returns
+    ) * result_bytes
+    assert ring.network.accounting.category_bytes("lookup") == total
+
+
+def test_fast_verdi_fetch_wire_bytes():
+    ring = build_verme_ring(num_nodes=64, num_sections=8, seed=13)
+    layers = [FastVerDiNode(n, DhtConfig(num_replicas=4)) for n in ring.nodes]
+    for layer in layers:
+        layer.start()
+    value = b"w" * 1000
+    put_results = []
+    layers[0].put(value, put_results.append)
+    ring.sim.run(until=ring.sim.now + 240)
+    (put,) = put_results
+    assert put.ok, put.error
+
+    sent = capture_sends(ring.network)
+    got_results = []
+    layers[-1].get(put.key, got_results.append)
+    ring.sim.run(until=ring.sim.now + 240)
+    (got,) = got_results
+    assert got.ok, got.error
+    assert got.value == value
+
+    fetch_requests = [
+        (c, s) for m, c, s in sent if m == "dht_fetch"
+    ]
+    # One replica answers on a healthy ring: exactly one fetch request,
+    # on the data category, sized key + certificate.
+    assert fetch_requests == [("data", MIN_RPC_BYTES + ID_BYTES + CERT_BYTES)]
+    # Exactly one reply carries the sealed value back.
+    reply_bytes = MIN_RPC_BYTES + len(value) + SEALED_OVERHEAD_BYTES
+    replies = [(m, c, s) for m, c, s in sent if s == reply_bytes]
+    assert len(replies) == 1
+    assert replies[0][0] is None and replies[0][1] == "data"
