@@ -32,6 +32,7 @@ import perf_common  # noqa: E402  (sets sys.path for the repro import)
 
 from repro.experiments import Fig5Config  # noqa: E402
 from repro.experiments.fig5_lookup_latency import run_cell_instrumented  # noqa: E402
+from repro.obs import OBS, collecting, flatten  # noqa: E402
 
 SEED = 0
 SYSTEM = "chord-recursive"
@@ -60,6 +61,12 @@ def main(argv=None) -> int:
                         help="override the preset's simulated seconds")
     parser.add_argument("--smoke", action="store_true",
                         help="40 nodes / 300 simulated seconds, for CI")
+    parser.add_argument("--obs", action="store_true",
+                        help="collect a repro.obs metrics registry during "
+                             "the run and embed it (flattened) in the "
+                             "record's metrics block; off by default so "
+                             "gated records measure the uninstrumented "
+                             "hot path")
     parser.add_argument("--out", default=None,
                         help="output path (default BENCH_<name>.json at repo root)")
     args = parser.parse_args(argv)
@@ -77,8 +84,14 @@ def main(argv=None) -> int:
         seed=SEED,
         latency_model=latency_model,
     )
+    snapshot = None
     start = time.perf_counter()
-    row, events = run_cell_instrumented(config, SYSTEM, MEAN_LIFETIME_S)
+    if args.obs:
+        with collecting(metrics=True):
+            row, events = run_cell_instrumented(config, SYSTEM, MEAN_LIFETIME_S)
+            snapshot = OBS.metrics.snapshot()
+    else:
+        row, events = run_cell_instrumented(config, SYSTEM, MEAN_LIFETIME_S)
     wall = time.perf_counter() - start
 
     parameters = {
@@ -92,17 +105,20 @@ def main(argv=None) -> int:
         # (compare_bench.py refuses to gate records whose parameters
         # differ), so only the new presets record the model choice.
         parameters["latency_model"] = latency_model
+    metrics = {
+        "lookups": float(row.lookups),
+        "mean_latency_s": row.mean_latency_s,
+        "failure_rate": row.failure_rate,
+    }
+    if snapshot is not None:
+        metrics.update(flatten(snapshot))
     record = perf_common.bench_record(
         name=name,
         wall_clock_s=wall,
         events=events,
         seed=SEED,
         parameters=parameters,
-        metrics={
-            "lookups": float(row.lookups),
-            "mean_latency_s": row.mean_latency_s,
-            "failure_rate": row.failure_rate,
-        },
+        metrics=metrics,
     )
     path = perf_common.write_record(record, args.out)
     print(f"fig5[{args.preset}] {nodes} nodes x {duration:.0f}s sim: "

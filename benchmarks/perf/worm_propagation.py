@@ -30,6 +30,7 @@ import time
 
 import perf_common  # noqa: E402  (sets sys.path for the repro import)
 
+from repro.obs import OBS, collecting, flatten  # noqa: E402
 from repro.worm import ENGINES, WormScenarioConfig, run_scenario  # noqa: E402
 
 SEED = 7
@@ -52,6 +53,12 @@ def main(argv=None) -> int:
     parser.add_argument("--engine", choices=sorted(ENGINES), default="columnar")
     parser.add_argument("--smoke", action="store_true",
                         help="5000 nodes / 256 sections, for CI")
+    parser.add_argument("--obs", action="store_true",
+                        help="collect a repro.obs metrics registry during "
+                             "the run and embed it (flattened) in the "
+                             "record's metrics block; off by default so "
+                             "gated records measure the uninstrumented "
+                             "hot path")
     parser.add_argument("--out", default=None,
                         help="output path (default BENCH_<name>.json at repo root)")
     args = parser.parse_args(argv)
@@ -66,11 +73,23 @@ def main(argv=None) -> int:
     config = WormScenarioConfig(
         num_nodes=nodes, num_sections=sections, seed=SEED, engine=args.engine
     )
+    snapshot = None
     start = time.perf_counter()
-    result = run_scenario("chord", config, until=HORIZON_S)
+    if args.obs:
+        with collecting(metrics=True):
+            result = run_scenario("chord", config, until=HORIZON_S)
+            snapshot = OBS.metrics.snapshot()
+    else:
+        result = run_scenario("chord", config, until=HORIZON_S)
     wall = time.perf_counter() - start
     events = result.events
 
+    metrics = {
+        "final_infected": float(result.final_infected),
+        "vulnerable": float(result.vulnerable_count),
+    }
+    if snapshot is not None:
+        metrics.update(flatten(snapshot))
     record = perf_common.bench_record(
         name=name,
         wall_clock_s=wall,
@@ -83,10 +102,7 @@ def main(argv=None) -> int:
             "horizon_s": HORIZON_S,
             "engine": args.engine,
         },
-        metrics={
-            "final_infected": float(result.final_infected),
-            "vulnerable": float(result.vulnerable_count),
-        },
+        metrics=metrics,
     )
     path = perf_common.write_record(record, args.out)
     print(f"worm {nodes} nodes [{args.engine}]: {wall:.2f}s wall, "

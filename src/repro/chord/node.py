@@ -25,6 +25,7 @@ from ..ids.idspace import IdSpace
 from ..net.addressing import NodeAddress
 from ..net.message import ADDR_BYTES, ID_BYTES, entry_bytes
 from ..net.network import Network
+from ..obs import OBS
 from ..sim import EventHandle, PeriodicTimer, Simulator
 from .config import OverlayConfig
 from .lookup import LookupPurpose, LookupResult, LookupStyle
@@ -55,6 +56,10 @@ _DECISION_NO_ROUTE = _RouteDecision(done=False, next_hop=None)
 #: Shared empty exclude set for hops with no failure history (the
 #: common case); read-only by contract of ``_route_next``.
 _NO_EXCLUDE: frozenset = frozenset()
+
+#: Hop-count histogram buckets for the ``lookup.hops`` metric: one
+#: bucket per hop up to twice the ~log2 N of the largest experiments.
+_HOP_BUCKETS = tuple(float(i) for i in range(1, 33))
 
 #: Sort key for the cached routing-candidate list: clockwise distance.
 #: The sort is stable, so equal distances keep build order (fingers
@@ -787,15 +792,38 @@ class ChordNode:
         sim = self.sim
         # Inlined LookupResult construction and the zero-delay
         # call_after handing it to the caller (one per lookup).
+        latency = sim._now - state.started_at
         result = LookupResult.__new__(LookupResult)
         result.key = state.key
         result.success = success
         result.entries = list(entries) if entries else []
-        result.latency_s = sim._now - state.started_at
+        result.latency_s = latency
         result.hops = hops
         result.retries = state.attempts - 1
         result.error = error
         result.app_payload = app_payload
+        metrics = OBS.metrics
+        if metrics is not None:
+            if success:
+                metrics.counter("lookup.successes").inc()
+                metrics.histogram("lookup.hops", _HOP_BUCKETS).observe(hops)
+                metrics.histogram("lookup.latency_s").observe(latency)
+            else:
+                metrics.counter("lookup.failures").inc()
+        trace = OBS.trace
+        if trace is not None:
+            trace.complete(
+                "lookup",
+                state.started_at,
+                latency,
+                lane="lookup",
+                args={
+                    "hops": hops,
+                    "retries": result.retries,
+                    "ok": success,
+                    "error": error,
+                },
+            )
         seq = sim._next_seq
         sim._next_seq = seq + 1
         heapq.heappush(sim._queue, (sim._now, seq, state.on_done, (result,)))

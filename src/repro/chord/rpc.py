@@ -35,6 +35,7 @@ from typing import Any, Callable, Dict, Optional
 
 from ..faults.detector import FailureDetectorStats
 from ..net.addressing import NodeAddress
+from ..obs import OBS
 from ..net.message import HEADER_BYTES, RPC_META_BYTES, Message
 from ..net.network import Network
 from ..sim import EventHandle, Simulator
@@ -316,6 +317,22 @@ class RpcLayer:
         pending.attempt = 0
         self._pending[req_id] = pending
         self.detector.calls += 1
+        metrics = OBS.metrics
+        if metrics is not None:
+            metrics.counter("rpc.calls").inc()
+        trace = OBS.trace
+        if trace is not None:
+            trace.instant(
+                "rpc.call",
+                sim._now,
+                lane="rpc",
+                args={
+                    "method": method,
+                    "src": self.address.host_slot,
+                    "dst": dst.host_slot,
+                    "req": req_id,
+                },
+            )
         self.network.send(self.address, dst, request, size, category, op_tag)
         return req_id
 
@@ -388,6 +405,22 @@ class RpcLayer:
                     2 * sim._cancelled_in_queue > len(queue)
                 ):
                     sim._compact()
+            metrics = OBS.metrics
+            if metrics is not None:
+                metrics.counter("rpc.replies").inc()
+            trace = OBS.trace
+            if trace is not None:
+                trace.instant(
+                    "rpc.reply",
+                    self.sim.now,
+                    lane="rpc",
+                    args={
+                        "method": pending.request.method,
+                        "src": msg.src.host_slot,
+                        "ok": payload.ok,
+                        "req": payload.req_id,
+                    },
+                )
             # The failure detector only needs to hear about replies from
             # peers it has a record for (i.e. ones that timed out before).
             peers = self.detector.peers
@@ -415,6 +448,21 @@ class RpcLayer:
             # Retransmit the identical request and back off.
             pending.attempt += 1
             self.detector.record_retransmit(pending.dst)
+            metrics = OBS.metrics
+            if metrics is not None:
+                metrics.counter("rpc.retransmits").inc()
+            trace = OBS.trace
+            if trace is not None:
+                trace.instant(
+                    "rpc.retransmit",
+                    self.sim.now,
+                    lane="rpc",
+                    args={
+                        "method": pending.request.method,
+                        "dst": pending.dst.host_slot,
+                        "attempt": pending.attempt,
+                    },
+                )
             pending.timer = self.sim.schedule(
                 self._next_timeout(pending), self._on_timeout, req_id
             )
@@ -429,5 +477,19 @@ class RpcLayer:
             return
         del self._pending[req_id]
         self.detector.record_timeout(pending.dst, self.sim.now)
+        metrics = OBS.metrics
+        if metrics is not None:
+            metrics.counter("rpc.timeouts").inc()
+        trace = OBS.trace
+        if trace is not None:
+            trace.instant(
+                "rpc.timeout",
+                self.sim.now,
+                lane="rpc",
+                args={
+                    "method": pending.request.method,
+                    "dst": pending.dst.host_slot,
+                },
+            )
         if pending.on_error is not None:
             pending.on_error("timeout")

@@ -24,6 +24,7 @@ from ..chord.node import ChordNode
 from ..chord.rpc import MIN_RPC_BYTES, RpcContext
 from ..chord.state import NodeInfo
 from ..net.message import ID_BYTES
+from ..obs import OBS
 from ..sim import PeriodicTimer
 from .blocks import BlockStore, block_key, verify_block
 
@@ -144,15 +145,29 @@ class DhtNode:
 
     def _finish(self, op: _Op, ok: bool, value: Optional[bytes] = None,
                 error: Optional[str] = None) -> None:
+        latency = self.node.sim.now - op.started_at
         result = OpResult(
             ok=ok,
             op=op.op,
             key=op.key,
             op_tag=op.op_tag,
             value=value,
-            latency_s=self.node.sim.now - op.started_at,
+            latency_s=latency,
             error=error,
         )
+        metrics = OBS.metrics
+        if metrics is not None:
+            metrics.counter(f"dht.{op.op}.{'ok' if ok else 'fail'}").inc()
+            metrics.histogram(f"dht.{op.op}.latency_s").observe(latency)
+        trace = OBS.trace
+        if trace is not None:
+            trace.complete(
+                "dht." + op.op,
+                op.started_at,
+                latency,
+                lane="dht",
+                args={"tag": op.op_tag, "ok": ok, "error": error},
+            )
         self.node.sim.call_after(0.0, op.on_done, result)
 
     # -- wire sizes ----------------------------------------------------------------
@@ -280,6 +295,18 @@ class DhtNode:
             self._finish(op, False, error="no replica answered")
             return
         target = op.targets.pop(0)
+        trace = OBS.trace
+        if trace is not None:
+            trace.instant(
+                "dht.fetch-phase",
+                self.node.sim.now,
+                lane="dht",
+                args={
+                    "tag": op.op_tag,
+                    "dst": target.address.host_slot,
+                    "attempt": op.attempts,
+                },
+            )
         params = {"key": op.key}
         if params_extra:
             params.update(params_extra)
@@ -318,6 +345,14 @@ class DhtNode:
         request_meta: Optional[dict] = None,
         extra_request_bytes: int = 0,
     ) -> None:
+        trace = OBS.trace
+        if trace is not None:
+            trace.instant(
+                "dht.lookup-phase",
+                self.node.sim.now,
+                lane="dht",
+                args={"tag": op.op_tag, "op": op.op},
+            )
         self.node.lookup(
             key,
             on_done=lambda res: on_entries(op, res),

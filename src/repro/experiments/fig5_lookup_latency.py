@@ -29,6 +29,7 @@ from ..ids.idspace import IdSpace
 from ..ids.sections import VermeIdLayout
 from ..net.king import KingCoordinates, king_matrix
 from ..net.network import Network
+from ..obs import OBS, maybe_phase
 from ..sim import RngRegistry, Simulator
 from .builders import build_ring
 from .records import Fig5Row
@@ -107,52 +108,56 @@ def run_cell_instrumented(
         derive_seed(config.seed, f"fig5:{system}:{mean_lifetime_s}:{run_index}")
     )
     sim = Simulator()
-    king_seed = rngs.stream("king").randrange(2**31)
-    if config.latency_model == "king-matrix":
-        latency = king_matrix(
-            num_hosts=config.num_nodes,
-            mean_rtt_s=config.mean_rtt_s,
-            seed=king_seed,
-        )
-    elif config.latency_model == "king-coords":
-        latency = KingCoordinates(
-            num_hosts=config.num_nodes,
-            mean_rtt_s=config.mean_rtt_s,
-            seed=king_seed,
-        )
-    else:
-        raise ValueError(f"unknown latency model {config.latency_model!r}")
-    network = Network(sim, latency)
-    overlay_cfg = config.overlay_config()
-    layout = None
-    if system == "verme":
-        layout = VermeIdLayout.for_sections(overlay_cfg.space, config.num_sections)
-    ring = build_ring(sim, network, overlay_cfg, config.num_nodes, rngs, layout)
+    with maybe_phase("fig5.build"):
+        king_seed = rngs.stream("king").randrange(2**31)
+        if config.latency_model == "king-matrix":
+            latency = king_matrix(
+                num_hosts=config.num_nodes,
+                mean_rtt_s=config.mean_rtt_s,
+                seed=king_seed,
+            )
+        elif config.latency_model == "king-coords":
+            latency = KingCoordinates(
+                num_hosts=config.num_nodes,
+                mean_rtt_s=config.mean_rtt_s,
+                seed=king_seed,
+            )
+        else:
+            raise ValueError(f"unknown latency model {config.latency_model!r}")
+        network = Network(sim, latency)
+        overlay_cfg = config.overlay_config()
+        layout = None
+        if system == "verme":
+            layout = VermeIdLayout.for_sections(overlay_cfg.space, config.num_sections)
+        ring = build_ring(sim, network, overlay_cfg, config.num_nodes, rngs, layout)
 
-    churn = ChurnDriver(
-        sim,
-        ring.population,
-        ring.factory,
-        rngs.stream("churn"),
-        mean_lifetime_s=mean_lifetime_s,
-    )
-    churn.start()
+        churn = ChurnDriver(
+            sim,
+            ring.population,
+            ring.factory,
+            rngs.stream("churn"),
+            mean_lifetime_s=mean_lifetime_s,
+        )
+        churn.start()
 
-    style = (
-        LookupStyle.TRANSITIVE if system == "chord-transitive" else LookupStyle.RECURSIVE
-    )
-    stats = LookupStats()
-    workload = LookupWorkload(
-        sim,
-        ring.population,
-        rngs.stream("workload"),
-        style=style,
-        mean_interval_s=config.mean_lookup_interval_s,
-        stats=stats,
-        warmup_s=config.warmup_s,
-    )
-    workload.start()
-    sim.run(until=config.duration_s)
+        style = (
+            LookupStyle.TRANSITIVE
+            if system == "chord-transitive"
+            else LookupStyle.RECURSIVE
+        )
+        stats = LookupStats()
+        workload = LookupWorkload(
+            sim,
+            ring.population,
+            rngs.stream("workload"),
+            style=style,
+            mean_interval_s=config.mean_lookup_interval_s,
+            stats=stats,
+            warmup_s=config.warmup_s,
+        )
+        workload.start()
+    with maybe_phase("fig5.run", sim):
+        sim.run(until=config.duration_s)
 
     maintenance_bytes = network.accounting.category_bytes("maintenance")
     per_node_per_s = maintenance_bytes / (config.num_nodes * config.duration_s)
@@ -168,6 +173,20 @@ def run_cell_instrumented(
         lookups=stats.total,
         maintenance_bytes_per_node_s=per_node_per_s,
     )
+    metrics = OBS.metrics
+    if metrics is not None:
+        # Post-run publication (never in the event loop).  The per-cell
+        # prefix keeps grid cells distinct when snapshots merge.
+        prefix = f"fig5.{system}.lt{mean_lifetime_s:g}.r{run_index}"
+        metrics.counter(prefix + ".lookups").inc(stats.total)
+        metrics.counter(prefix + ".lookup_failures").inc(stats.failures)
+        metrics.counter(prefix + ".maintenance_bytes").inc(maintenance_bytes)
+        metrics.counter(prefix + ".kernel_events").inc(sim.events_processed)
+        if stats.total:
+            metrics.gauge(prefix + ".failure_rate").set(stats.failure_rate)
+        if stats.successes:
+            metrics.gauge(prefix + ".mean_latency_s").set(latency_summary.mean)
+            metrics.gauge(prefix + ".mean_hops").set(hops_summary.mean)
     return row, sim.events_processed
 
 

@@ -18,6 +18,15 @@ Determinism contract:
   loop — no pool, no pickling, exactly the code path the serial
   drivers run.
 
+Metrics collection (``--metrics``) rides the same contract: when the
+caller has ``repro.obs`` metrics enabled, every cell — serial or pooled
+— runs under its own fresh registry and the per-cell snapshots merge
+into the caller's registry in cell order, so the merged snapshot is
+byte-identical at any worker count
+(``tests/test_metrics_determinism.py``).  Traces are serial-only: a
+pool worker's trace events would be lost, which is why the runner
+forces ``--workers 1`` under ``--trace``.
+
 ``python -m repro.experiments.runner fig8 --workers 4`` is the CLI
 entry point.
 """
@@ -29,6 +38,7 @@ import resource
 import sys
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import OBS, run_cell_collected
 from ..worm.model import InfectionCurve
 from ..worm.scenarios import SCENARIOS, WormRunResult, WormScenarioConfig
 from .ablations import (
@@ -81,6 +91,15 @@ def _run_cell_rss(cell: Cell) -> Tuple[Any, str, int]:
     return result, multiprocessing.current_process().name, _peak_rss_kib()
 
 
+def _run_cell_collected(cell: Cell) -> Tuple[Any, str, int, Dict[str, Any]]:
+    """Like :func:`_run_cell_rss` but under a fresh metrics registry;
+    the cell's snapshot travels back with the result for in-order
+    merging by the parent."""
+    fn, args = cell
+    result, snap = run_cell_collected(fn, args)
+    return result, multiprocessing.current_process().name, _peak_rss_kib(), snap
+
+
 def last_worker_rss_kib() -> Dict[str, int]:
     """Per-process peak RSS of the most recent :func:`map_cells` sweep."""
     return dict(_last_worker_rss_kib)
@@ -104,20 +123,35 @@ def map_cells(cells: Sequence[Cell], workers: Optional[int] = None) -> List[Any]
     until the next sweep overwrites it).
     """
     _last_worker_rss_kib.clear()
+    registry = OBS.metrics
     if workers is None or workers <= 1 or len(cells) <= 1:
-        results = [fn(*args) for fn, args in cells]
+        if registry is not None:
+            # Same per-cell snapshot-and-merge sequence as the pool
+            # path, so float accumulation order matches exactly.
+            results = []
+            for fn, args in cells:
+                result, snap = run_cell_collected(fn, args)
+                registry.merge_snapshot(snap)
+                results.append(result)
+        else:
+            results = [fn(*args) for fn, args in cells]
         _last_worker_rss_kib[multiprocessing.current_process().name] = (
             _peak_rss_kib()
         )
         return results
     pool_size = min(workers, len(cells))
+    worker_fn = _run_cell_collected if registry is not None else _run_cell_rss
     with multiprocessing.Pool(pool_size) as pool:
-        triples = pool.map(_run_cell_rss, cells, chunksize=1)
-    for _result, worker, rss in triples:
+        rows = pool.map(worker_fn, cells, chunksize=1)
+    for row in rows:
+        worker, rss = row[1], row[2]
         prev = _last_worker_rss_kib.get(worker, 0)
         if rss > prev:
             _last_worker_rss_kib[worker] = rss
-    return [result for result, _worker, _rss in triples]
+    if registry is not None:
+        for row in rows:
+            registry.merge_snapshot(row[3])
+    return [row[0] for row in rows]
 
 
 # -- fig8 ----------------------------------------------------------------------

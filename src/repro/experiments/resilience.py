@@ -28,6 +28,7 @@ plan, workload, ids and jitter all draw from derived streams.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple
 
@@ -39,6 +40,7 @@ from ..ids.idspace import IdSpace
 from ..ids.sections import VermeIdLayout
 from ..net.latency import ConstantLatency
 from ..net.network import Network
+from ..obs import OBS, maybe_phase
 from ..sim import RngRegistry, Simulator
 from ..sim.rng import derive_seed
 from .builders import build_ring
@@ -216,7 +218,8 @@ def run_resilience_cell(
             sim.schedule(config.bucket_s, probe)
 
     sim.schedule(config.bucket_s, probe)
-    sim.run(until=config.duration_s)
+    with maybe_phase("resilience.run", sim):
+        sim.run(until=config.duration_s)
 
     pre_rate, pre_n = _success_rate(
         samples, config.warmup_s, config.partition_start_s
@@ -240,7 +243,7 @@ def run_resilience_cell(
     )
     detectors = [node.rpc.detector for node in ring.population.nodes]
     recoveries = [r for d in detectors for r in d.recovery_times_s]
-    return ResilienceRow(
+    row = ResilienceRow(
         system=system,
         pre_success_rate=pre_rate,
         partition_success_rate=during_rate,
@@ -256,6 +259,18 @@ def run_resilience_cell(
             sum(recoveries) / len(recoveries) if recoveries else 0.0
         ),
     )
+    metrics = OBS.metrics
+    if metrics is not None:
+        prefix = f"resilience.{system}.r{run_index}"
+        metrics.counter(prefix + ".lookups").inc(row.lookups)
+        metrics.counter(prefix + ".rpc_timeouts").inc(row.rpc_timeouts)
+        metrics.counter(prefix + ".rpc_retransmits").inc(row.rpc_retransmits)
+        metrics.counter(prefix + ".partition_drops").inc(row.partition_drops)
+        if not math.isnan(row.min_ring_coherence):
+            metrics.gauge(prefix + ".min_ring_coherence").set(
+                row.min_ring_coherence
+            )
+    return row
 
 
 def run_resilience(

@@ -10,12 +10,25 @@ Regenerate any paper figure (or the ablations) from the shell::
     python -m repro.experiments.runner ablations [--workers N]
 
 Scaled-down parameters by default (seconds to minutes); ``--paper-scale``
-switches to the paper's §7 configurations (minutes to an hour).
+switches to the paper's §7 configurations (minutes to an hour), and
+``--preset`` picks a named population scale without changing anything
+else (fig5: ``120``/``1k``/``10k``; fig8: ``1k``/``100k``/``1m`` —
+the same scales the committed ``BENCH_*.json`` baselines use).
 
 ``--workers N`` fans the independent (system/scenario, seed) cells of
 fig5/fig6/fig7/fig8/ablations across N processes (see
 :mod:`repro.experiments.parallel`); the default of 1 runs everything
 serially, in-process, and the output is bit-identical either way.
+
+Observability (see :mod:`repro.obs` and ``docs/observability.md``):
+
+* ``--metrics FILE`` collects the run's metrics registry and writes a
+  snapshot (JSON, or CSV when FILE ends in ``.csv``).  Byte-identical
+  at any ``--workers`` count.
+* ``--trace FILE`` records a Chrome ``trace_event`` JSON viewable at
+  https://ui.perfetto.dev.  Serial-only: forces ``--workers 1``.
+* ``--profile`` runs under cProfile *and* prints a per-phase
+  wall/CPU/event-rate report.
 """
 
 from __future__ import annotations
@@ -28,6 +41,7 @@ from pathlib import Path
 
 from ..analysis.export import write_rows_csv, write_series_csv
 from ..analysis.tables import format_table
+from ..obs import OBS, disable as obs_disable, enable as obs_enable
 from ..worm import ENGINES, WormScenarioConfig
 from .dht_ops import DhtExperimentConfig
 from .fig5_lookup_latency import Fig5Config
@@ -44,10 +58,51 @@ from .parallel import (
 from .resilience import ResilienceConfig, run_resilience
 
 
+def _fig8_scaled(cfg: Fig8Config, num_nodes: int, num_sections: int) -> Fig8Config:
+    return replace(
+        cfg,
+        scenario_config=replace(
+            cfg.scenario_config,
+            num_nodes=num_nodes,
+            num_sections=num_sections,
+        ),
+    )
+
+
+#: ``--preset`` tables: named population scales per figure, mirroring
+#: the perf-harness presets (``benchmarks/perf/fig5_lookup.py`` and
+#: ``benchmarks/perf/worm_propagation.py``) so runner output lines up
+#: with the committed ``BENCH_*.json`` baselines.  The dense King
+#: matrix is O(n^2) memory, hence king-coords at 1k nodes and up.
+PRESETS = {
+    "fig5": {
+        "120": lambda cfg: cfg,
+        "1k": lambda cfg: replace(
+            cfg, num_nodes=1000, duration_s=600.0, latency_model="king-coords"
+        ),
+        "10k": lambda cfg: replace(
+            cfg, num_nodes=10_000, duration_s=600.0, latency_model="king-coords"
+        ),
+    },
+    "fig8": {
+        "1k": lambda cfg: _fig8_scaled(cfg, 1000, 64),
+        "100k": lambda cfg: _fig8_scaled(cfg, 100_000, 4096),
+        "1m": lambda cfg: _fig8_scaled(cfg, 1_000_000, 4096),
+    },
+}
+
+
+def _apply_preset(args, cfg):
+    if args.preset is not None:
+        cfg = PRESETS[args.figure][args.preset](cfg)
+    return cfg
+
+
 def _fig5(args) -> None:
     cfg = Fig5Config()
     if args.paper_scale:
         cfg = cfg.paper_scale()
+    cfg = _apply_preset(args, cfg)
     rows = run_fig5_parallel(cfg, workers=args.workers)
     if args.csv:
         print(f"wrote {write_rows_csv(Path(args.csv) / 'fig5.csv', rows)}")
@@ -90,6 +145,7 @@ def _fig8(args) -> None:
     cfg = Fig8Config(runs=args.runs)
     if args.paper_scale:
         cfg = cfg.paper_scale()
+    cfg = _apply_preset(args, cfg)
     if args.engine != cfg.scenario_config.engine:
         cfg = replace(
             cfg,
@@ -157,6 +213,15 @@ def _r(v):
 
 
 def main(argv=None) -> int:
+    """Run one figure driver from CLI arguments and return the exit code.
+
+    Parses ``argv`` (defaults to ``sys.argv[1:]``), applies scale flags
+    (``--paper-scale`` / ``--preset``), enables the requested
+    observability instruments around the figure dispatch, and writes the
+    ``--metrics`` / ``--trace`` outputs plus the run summary afterwards.
+    Observability is always restored to disabled on exit, so repeated
+    in-process calls (tests) do not leak instruments into each other.
+    """
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
@@ -166,6 +231,10 @@ def main(argv=None) -> int:
         choices=["fig5", "fig6", "fig7", "fig8", "resilience", "ablations"],
     )
     parser.add_argument("--paper-scale", action="store_true")
+    parser.add_argument(
+        "--preset", metavar="NAME", default=None,
+        help="named population scale (fig5: 120, 1k, 10k; fig8: 1k, "
+             "100k, 1m) matching the perf-harness presets")
     parser.add_argument("--csv", metavar="DIR", default=None,
                         help="also export the figure's data as CSV into DIR")
     parser.add_argument("--runs", type=int, default=2, help="fig8 repetitions")
@@ -178,10 +247,32 @@ def main(argv=None) -> int:
         help="processes for fig5/fig6/fig7/fig8/ablations cells (1 = "
              "serial, bit-identical output either way)")
     parser.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="collect a metrics snapshot and write it to FILE (JSON, "
+             "or CSV when FILE ends in .csv); byte-identical at any "
+             "--workers count")
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record a Chrome trace_event JSON to FILE (view at "
+             "https://ui.perfetto.dev); forces --workers 1")
+    parser.add_argument(
         "--profile", action="store_true",
-        help="run under cProfile and write profile_<figure>.pstats "
-             "(profiles this process only; combine with --workers 1)")
+        help="run under cProfile, write profile_<figure>.pstats, and "
+             "print a per-phase wall/CPU/event-rate report (profiles "
+             "this process only; combine with --workers 1)")
     args = parser.parse_args(argv)
+    if args.preset is not None:
+        table = PRESETS.get(args.figure)
+        if table is None:
+            parser.error(f"--preset is not supported for {args.figure}")
+        if args.preset not in table:
+            parser.error(f"unknown {args.figure} preset {args.preset!r} "
+                         f"(choices: {', '.join(table)})")
+        if args.paper_scale:
+            parser.error("--preset and --paper-scale are mutually exclusive")
+    if args.trace is not None and args.workers != 1:
+        print("--trace is serial-only; forcing --workers 1", file=sys.stderr)
+        args.workers = 1
     started = time.time()
     dispatch = {
         "fig5": lambda: _fig5(args),
@@ -191,21 +282,50 @@ def main(argv=None) -> int:
         "resilience": lambda: _resilience(args),
         "ablations": lambda: _ablations(args),
     }[args.figure]
-    if args.profile:
-        import cProfile
+    obs_on = (
+        args.metrics is not None or args.trace is not None or args.profile
+    )
+    if obs_on:
+        obs_enable(
+            metrics=args.metrics is not None,
+            trace=args.trace is not None,
+            profile=args.profile,
+        )
+    try:
+        if args.profile:
+            import cProfile
 
-        profiler = cProfile.Profile()
-        profiler.enable()
-        try:
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                dispatch()
+            finally:
+                profiler.disable()
+                pstats_path = f"profile_{args.figure}.pstats"
+                profiler.dump_stats(pstats_path)
+                print(f"\nprofile written to {pstats_path} "
+                      f"(inspect: python -m pstats {pstats_path})")
+        else:
             dispatch()
-        finally:
-            profiler.disable()
-            pstats_path = f"profile_{args.figure}.pstats"
-            profiler.dump_stats(pstats_path)
-            print(f"\nprofile written to {pstats_path} "
-                  f"(inspect: python -m pstats {pstats_path})")
-    else:
-        dispatch()
+        if args.metrics is not None:
+            path = Path(args.metrics)
+            text = (
+                OBS.metrics.to_csv()
+                if path.suffix == ".csv"
+                else OBS.metrics.to_json()
+            )
+            path.write_text(text)
+            print(f"metrics snapshot written to {path}")
+        if args.trace is not None:
+            OBS.trace.write(args.trace)
+            print(f"trace written to {args.trace} "
+                  f"(open at https://ui.perfetto.dev)")
+        if args.profile:
+            print("phase profile:")
+            print(OBS.profile.format_report())
+    finally:
+        if obs_on:
+            obs_disable()
     summary = f"\n[{args.figure} done in {time.time() - started:.1f}s"
     peak = last_peak_rss_kib()
     if peak is not None:

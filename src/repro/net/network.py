@@ -26,6 +26,7 @@ import random
 from typing import Any, Callable, Dict, Optional, Sequence
 
 from ..faults.plan import FaultPlan
+from ..obs import OBS
 from ..sim import Simulator
 from .accounting import ByteAccounting
 from .addressing import NodeAddress
@@ -139,6 +140,16 @@ class Network:
     def _drop(self, cause: str) -> None:
         self.drops_by_cause[cause] = self.drops_by_cause.get(cause, 0) + 1
         self.accounting.record_drop(cause)
+        # Drops are off the send fast path, so the cause-tagged registry
+        # counters cost nothing on delivered messages.
+        metrics = OBS.metrics
+        if metrics is not None:
+            metrics.counter("net.drops." + cause).inc()
+        trace = OBS.trace
+        if trace is not None:
+            trace.instant(
+                "net.drop", self.sim.now, lane="net", args={"cause": cause}
+            )
 
     # -- delivery -------------------------------------------------------------
 

@@ -1,0 +1,260 @@
+"""Metrics registry: named counters, gauges, and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` holds every metric of a run, keyed by a
+dotted name (``"net.drops.partition"``, ``"chord.lookup.hops"``).
+Instruments are created on first use (`counter()` / `gauge()` /
+`histogram()` are get-or-create) and the whole registry snapshots to a
+plain dict whose JSON rendering is *byte-stable*: keys are sorted and
+every value is deterministic for a deterministic run.  That stability
+is load-bearing — ``tests/test_metrics_determinism.py`` asserts the
+serial and multiprocess experiment paths produce identical bytes.
+
+Parallel runs merge worker snapshots with :meth:`MetricsRegistry
+.merge_snapshot` in a fixed cell order; counters add, gauges overwrite
+(last merge wins), histograms add bucket-wise.  The serial path uses
+the same per-cell snapshot-and-merge sequence so float accumulation
+order is identical either way.
+
+Nothing here touches the simulation hot path by itself — hot code
+guards every call site with ``if OBS.metrics is not None`` (see
+:mod:`repro.obs`), so a disabled run never constructs or updates an
+instrument.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+#: Default histogram bucket upper bounds (seconds-ish scale, but any
+#: unit works); the last implicit bucket is +inf.
+DEFAULT_BUCKETS: Sequence[float] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+)
+
+#: Snapshot schema identifier, bumped on incompatible change.
+SNAPSHOT_SCHEMA = "repro.obs.metrics/1"
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins numeric value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value of the measured quantity."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram (upper-bound buckets plus +inf overflow).
+
+    ``counts[i]`` counts observations ``<= bounds[i]``; the final entry
+    counts the overflow.  ``sum``/``min``/``max`` summarise the raw
+    sample without retaining it.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        ordered = [float(b) for b in bounds]
+        if ordered != sorted(ordered) or len(set(ordered)) != len(ordered):
+            raise ValueError("histogram bounds must be strictly increasing")
+        if not ordered:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds: List[float] = ordered
+        self.counts: List[int] = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        # Bucket i counts values <= bounds[i]; bisect_left sends an
+        # exact bound hit into its own bucket and overflow to the end.
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+
+class MetricsRegistry:
+    """All instruments of one run, keyed by dotted name."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access (get-or-create) -----------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        c = self._counters.get(name)
+        if c is None:
+            self._check_free(name, self._counters)
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        g = self._gauges.get(name)
+        if g is None:
+            self._check_free(name, self._gauges)
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """The histogram under ``name``; ``bounds`` applies on creation
+        only and must match on later calls that pass it."""
+        h = self._histograms.get(name)
+        if h is None:
+            self._check_free(name, self._histograms)
+            h = self._histograms[name] = Histogram(
+                bounds if bounds is not None else DEFAULT_BUCKETS
+            )
+        elif bounds is not None and [float(b) for b in bounds] != h.bounds:
+            raise ValueError(f"histogram {name!r} re-registered with new bounds")
+        return h
+
+    def _check_free(self, name: str, owner: Dict[str, Any]) -> None:
+        for kind in (self._counters, self._gauges, self._histograms):
+            if kind is not owner and name in kind:
+                raise ValueError(
+                    f"metric name {name!r} already registered as another kind"
+                )
+
+    # -- introspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def names(self) -> List[str]:
+        """Every registered metric name, sorted."""
+        return sorted(
+            list(self._counters) + list(self._gauges) + list(self._histograms)
+        )
+
+    # -- snapshots ------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The registry as a plain, JSON-serialisable dict."""
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "sum": h.sum,
+                    "min": None if h.count == 0 else h.min,
+                    "max": None if h.count == 0 else h.max,
+                }
+                for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def to_json(self) -> str:
+        """Byte-stable JSON rendering of :meth:`snapshot`."""
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n"
+
+    def to_csv(self) -> str:
+        """Flat CSV rendering: ``kind,name,field,value`` rows, sorted."""
+        lines = ["kind,name,field,value"]
+        for name, c in sorted(self._counters.items()):
+            lines.append(f"counter,{name},value,{c.value}")
+        for name, g in sorted(self._gauges.items()):
+            lines.append(f"gauge,{name},value,{g.value!r}")
+        for name, h in sorted(self._histograms.items()):
+            lines.append(f"histogram,{name},count,{h.count}")
+            lines.append(f"histogram,{name},sum,{h.sum!r}")
+            for bound, count in zip(h.bounds, h.counts):
+                lines.append(f"histogram,{name},le_{bound!r},{count}")
+            lines.append(f"histogram,{name},overflow,{h.counts[-1]}")
+        return "\n".join(lines) + "\n"
+
+    # -- merging (parallel collection) ----------------------------------------
+
+    def merge_snapshot(self, snap: Dict[str, Any]) -> None:
+        """Fold a worker's :meth:`snapshot` into this registry.
+
+        Counters and histogram buckets add; gauges take the incoming
+        value (merge order is the fixed cell order, so "last write
+        wins" is deterministic).
+        """
+        if snap.get("schema") != SNAPSHOT_SCHEMA:
+            raise ValueError(f"cannot merge snapshot schema {snap.get('schema')!r}")
+        for name, value in snap["counters"].items():
+            self.counter(name).inc(value)
+        for name, value in snap["gauges"].items():
+            self.gauge(name).set(value)
+        for name, data in snap["histograms"].items():
+            h = self.histogram(name, data["bounds"])
+            if len(h.counts) != len(data["counts"]):
+                raise ValueError(f"histogram {name!r} bucket shape mismatch")
+            for i, c in enumerate(data["counts"]):
+                h.counts[i] += c
+            h.count += data["count"]
+            h.sum += data["sum"]
+            if data["min"] is not None and data["min"] < h.min:
+                h.min = data["min"]
+            if data["max"] is not None and data["max"] > h.max:
+                h.max = data["max"]
+
+    def reset(self) -> None:
+        """Drop every registered instrument."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+def flatten(snapshot: Dict[str, Any]) -> Dict[str, float]:
+    """Flatten a snapshot to ``{name: number}`` (histograms contribute
+    ``<name>.count`` / ``<name>.sum``) — the shape benchmark records
+    embed in their ``metrics`` block."""
+    flat: Dict[str, float] = {}
+    for name, value in snapshot.get("counters", {}).items():
+        flat[name] = float(value)
+    for name, value in snapshot.get("gauges", {}).items():
+        flat[name] = float(value)
+    for name, data in snapshot.get("histograms", {}).items():
+        flat[name + ".count"] = float(data["count"])
+        flat[name + ".sum"] = float(data["sum"])
+    return flat
+
+
+def iter_counters(snapshot: Dict[str, Any], prefix: str) -> Iterable[tuple]:
+    """Yield ``(name, value)`` for snapshot counters under ``prefix``."""
+    for name, value in snapshot.get("counters", {}).items():
+        if name.startswith(prefix):
+            yield name, value

@@ -37,6 +37,8 @@ import heapq
 import sys
 from typing import Any, Callable, Optional
 
+from ..obs import OBS
+
 
 class SimulationError(RuntimeError):
     """Raised for invalid uses of the simulation kernel."""
@@ -298,6 +300,7 @@ class Simulator:
             raise SimulationError("Simulator.run() is not re-entrant")
         self._running = True
         self._run_until = until
+        run_start = self._now
         # ``events_processed`` is a post-run metric (no callback reads it
         # mid-run), so it accumulates in a local and flushes on exit.
         # ``_live`` decrements for *fired* events ride the same counter
@@ -350,6 +353,16 @@ class Simulator:
                 self._live = 0
             self._running = False
             self._run_until = None
+            trace = OBS.trace
+            if trace is not None:
+                trace.complete(
+                    "sim.run", run_start, self._now - run_start, lane="sim",
+                    args={"events": processed},
+                )
+            metrics = OBS.metrics
+            if metrics is not None:
+                metrics.counter("sim.runs").inc()
+                metrics.counter("sim.events_processed").inc(processed)
 
     def step(self) -> bool:
         """Process exactly one (non-cancelled) event.

@@ -39,6 +39,15 @@ collide.  The one caveat: when ``infect_time == scan_interval`` the
 legacy engine interleaves the two kinds by seq, which a batch drain
 cannot reproduce; the default parameters (0.1 s vs 0.01 s) and every
 scenario in the repo keep them distinct.
+
+Tracing (:mod:`repro.obs`): when a trace recorder is active the scan
+and completion drains take their scalar paths unconditionally — the
+vectorised paths reorder within a cohort (``np.unique``, mask
+partitioning), and the scalar order is exactly the legacy engine's
+firing order, which is what makes the two engines' logical traces
+identical event for event (``tests/test_obs_trace.py``).  Events are
+stamped with the *logical* bucket time ``t``, not the tick's kernel
+time, matching when the legacy engine would have fired them.
 """
 
 from __future__ import annotations
@@ -52,6 +61,7 @@ try:  # numpy accelerates bulk drains; every path has a scalar fallback
 except ImportError:  # pragma: no cover - numpy is a declared dependency
     np = None  # type: ignore[assignment]
 
+from ..obs import OBS
 from ..sim import Simulator
 from .knowledge import KnowledgeModel
 from .model import (
@@ -184,6 +194,11 @@ class ColumnarWormSimulation:
         """Implant the worm on ``index`` at the start of the run."""
         if self._state[index] != STATE_NOT_INFECTED:
             return
+        trace = OBS.trace
+        if trace is not None:
+            trace.instant(
+                "worm.seed", self.sim.now, lane="worm", args={"node": index}
+            )
         self._state[index] = STATE_INACTIVE
         self.infected_count += 1
         self.curve.record(self.sim.now, self.infected_count)
@@ -205,9 +220,11 @@ class ColumnarWormSimulation:
             self._ensure_tick()
 
     def is_infected(self, index: int) -> bool:
+        """True once the worm has been implanted on ``index``."""
         return self._state[index] != STATE_NOT_INFECTED
 
     def state_of(self, index: int) -> WormState:
+        """The worm state of one node (cheap; no list materialisation)."""
         return STATE_TO_ENUM[self._state[index]]
 
     @property
@@ -373,6 +390,10 @@ class ColumnarWormSimulation:
         times = self._times
         times_set = self._times_set
         heappop = heapq.heappop
+        trace = OBS.trace
+        events_before = self.logical_events
+        buckets = 0
+        last_t = now
         while times:
             t = times[0]
             if t > window_end:
@@ -386,6 +407,8 @@ class ColumnarWormSimulation:
                 break
             heappop(times)
             times_set.discard(t)
+            buckets += 1
+            last_t = t
             for kind in self._kind_order:
                 if kind == _KIND_ACTIVATE:
                     acts = self._act_buckets.pop(t, None)
@@ -399,6 +422,20 @@ class ColumnarWormSimulation:
                     scans = self._scan_buckets.pop(t, None)
                     if scans:
                         self._drain_scans(t, scans)
+        if trace is not None and buckets:
+            # Engine-mechanical span (not part of the logical-event
+            # contract shared with the legacy engine): one batch tick
+            # and the window of logical time it drained.
+            trace.complete(
+                "worm.tick",
+                now,
+                last_t - now,
+                lane="sim",
+                args={
+                    "buckets": buckets,
+                    "logical_events": self.logical_events - events_before,
+                },
+            )
         self._ensure_tick()
 
     # -- drains ------------------------------------------------------------------
@@ -408,6 +445,14 @@ class ColumnarWormSimulation:
         knowledge (batched through ``targets_of_many`` when the model
         offers it), then queue the first scan or go idle."""
         self.logical_events += len(cohort)
+        trace = OBS.trace
+        if trace is not None:
+            # Cohort order is the legacy scheduling order on every path
+            # below, so the activation events can be emitted up front.
+            for i in cohort:
+                trace.instant(
+                    "worm.activate", t, lane="worm", args={"node": i}
+                )
         state = self._state
         for i in cohort:
             state[i] = STATE_SCANNING
@@ -511,7 +556,8 @@ class ColumnarWormSimulation:
         act_t = t + self._activation_delay
         scan_t = t + self._interval
         points = self.curve.points
-        if np is not None and count >= _VEC_MIN:
+        trace = OBS.trace
+        if np is not None and count >= _VEC_MIN and trace is None:
             state_np = self._state_np
             att = np.array(attackers, dtype=np.int64)
             tgt = np.array(targets, dtype=np.int64)
@@ -539,7 +585,19 @@ class ColumnarWormSimulation:
         act_bucket: Optional[List[int]] = None
         for k in range(count):
             target = targets[k]
-            if state[target] == STATE_NOT_INFECTED:
+            new = state[target] == STATE_NOT_INFECTED
+            if trace is not None:
+                trace.instant(
+                    "worm.infection",
+                    t,
+                    lane="worm",
+                    args={
+                        "attacker": attackers[k],
+                        "target": target,
+                        "new": new,
+                    },
+                )
+            if new:
                 state[target] = STATE_INACTIVE
                 self.infected_count += 1
                 points.append((t, self.infected_count))
@@ -560,7 +618,8 @@ class ColumnarWormSimulation:
         within one cohort read state, never write it, so the gather is
         order-independent and safe to vectorise."""
         self.logical_events += len(cohort)
-        if np is not None and len(cohort) >= _VEC_MIN:
+        trace = OBS.trace
+        if np is not None and len(cohort) >= _VEC_MIN and trace is None:
             nodes = np.array(cohort, dtype=np.int64)
             qh_np = self._qh_np
             heads = qh_np[nodes]
@@ -604,11 +663,23 @@ class ColumnarWormSimulation:
             head = q_head[i]
             if head == q_end[i]:
                 self._idle[i] = 1
+                if trace is not None:
+                    trace.instant(
+                        "worm.idle", t, lane="worm", args={"node": i}
+                    )
                 continue
             target = arena[head]
             q_head[i] = head + 1
             self.scans_performed += 1
-            if vuln[target] and state[target] == STATE_NOT_INFECTED:
+            hit = bool(vuln[target]) and state[target] == STATE_NOT_INFECTED
+            if trace is not None:
+                trace.instant(
+                    "worm.scan",
+                    t,
+                    lane="worm",
+                    args={"node": i, "target": target, "hit": hit},
+                )
+            if hit:
                 state[i] = STATE_INFECTING
                 if done_bucket is None:
                     done_t = t + self._infect_time

@@ -24,6 +24,7 @@ import random
 from typing import List, Optional, Sequence
 
 from ..ids.assignment import NodeType
+from ..obs import OBS
 from ..overlay.snapshot import VermeStaticOverlay
 from ..sim import Simulator
 from .knowledge import RoutingKnowledge
@@ -139,6 +140,20 @@ class _SectionHarvester:
         targets = self._harvest_once() + self._extra_targets()
         self.harvest_events += 1
         self.addresses_harvested += len(targets)
+        # Harvest injections are traced here (engine-independent) rather
+        # than in the engines' ``add_targets``, which the legacy engine
+        # also calls internally on activation.
+        trace = OBS.trace
+        if trace is not None:
+            trace.instant(
+                "worm.harvest",
+                self.sim.now,
+                lane="worm",
+                args={
+                    "node": self.impersonator_index,
+                    "count": len(targets),
+                },
+            )
         self.worm.add_targets(self.impersonator_index, targets)
         self.sim.call_after(self.rng.expovariate(self.rate_per_s), self._fire)
 

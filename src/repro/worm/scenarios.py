@@ -17,12 +17,14 @@ so tests run quickly; the benchmark drivers pass the full values.
 from __future__ import annotations
 
 import random
+from collections import Counter
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 from ..ids.assignment import NodeType
 from ..ids.idspace import IdSpace
 from ..ids.sections import VermeIdLayout
+from ..obs import OBS, maybe_phase
 from ..overlay.snapshot import StaticOverlay, VermeStaticOverlay
 from ..sim import Simulator
 from .columnar import ColumnarWormSimulation
@@ -32,7 +34,7 @@ from .harvest import (
     ImpersonatorKnowledge,
 )
 from .knowledge import chord_knowledge, verme_knowledge
-from .model import InfectionCurve, WormParams
+from .model import STATE_TO_ENUM, InfectionCurve, WormParams, WormState
 from .simulation import WormSimulation
 
 #: Engine selection for ``WormScenarioConfig.engine``.  ``columnar`` is
@@ -229,7 +231,8 @@ def run_scenario(
             [i for i, v in enumerate(pop.vulnerable) if v]
         )
         worm.seed(seed_index)
-        worm.run(until=until)
+        with maybe_phase("worm.run", sim):
+            worm.run(until=until)
         return _result(scenario, worm, pop, config)
 
     with_imp = scenario != "verme"
@@ -294,10 +297,11 @@ def run_scenario(
         )
     if harvester is not None:
         harvester.start()
-    worm.run(until=until)
+    with maybe_phase("worm.run", sim):
+        worm.run(until=until)
     if harvester is not None:
         harvester.stop()
-    return _result(scenario, worm, pop, config)
+    return _result(scenario, worm, pop, config, harvester)
 
 
 def _result(
@@ -305,8 +309,9 @@ def _result(
     worm,
     pop: WormPopulation,
     config: WormScenarioConfig,
+    harvester=None,
 ) -> WormRunResult:
-    return WormRunResult(
+    result = WormRunResult(
         scenario=scenario,
         curve=worm.curve,
         population_size=len(pop.overlay),
@@ -315,6 +320,50 @@ def _result(
         scans_performed=worm.scans_performed,
         events=worm.sim.events_processed + getattr(worm, "logical_events", 0),
     )
+    metrics = OBS.metrics
+    if metrics is not None:
+        _publish_run_metrics(metrics, worm, result, harvester)
+    return result
+
+
+def _final_state_counts(worm) -> Dict[str, int]:
+    """Final per-state node counts of a finished run (every node is in
+    exactly one state, so the values sum to the population)."""
+    if isinstance(worm, ColumnarWormSimulation):
+        # The byte column counts through Counter's C loop; materialising
+        # the enum list would allocate one object per node.
+        raw = Counter(worm._state)
+        by_name = {STATE_TO_ENUM[code].name: n for code, n in raw.items()}
+    else:
+        by_name = {state.name: n for state, n in Counter(worm.state).items()}
+    return {state.name: by_name.get(state.name, 0) for state in WormState}
+
+
+def _publish_run_metrics(metrics, worm, result: WormRunResult, harvester) -> None:
+    """Publish one run's worm metrics to the registry, after the run
+    (zero cost on the engines' hot paths).  Names are prefixed with the
+    scenario and seed so per-cell runs merge without colliding."""
+    prefix = f"worm.{result.scenario}.s{result.config.seed}"
+    for name, count in _final_state_counts(worm).items():
+        metrics.counter(f"{prefix}.states.{name}").inc(count)
+    metrics.counter(f"{prefix}.population").inc(result.population_size)
+    metrics.counter(f"{prefix}.vulnerable").inc(result.vulnerable_count)
+    metrics.counter(f"{prefix}.scans").inc(worm.scans_performed)
+    # State-machine transition counts: every infection is one
+    # NOT_INFECTED -> INACTIVE edge; seeds are the externally implanted
+    # subset of them.
+    metrics.counter(f"{prefix}.transitions.infected").inc(worm.infected_count)
+    metrics.counter(f"{prefix}.transitions.completed").inc(
+        worm.infections_completed
+    )
+    metrics.counter(f"{prefix}.transitions.seeded").inc(
+        worm.infected_count - worm.infections_completed
+    )
+    if harvester is not None:
+        metrics.counter(f"{prefix}.harvest.events").inc(harvester.harvest_events)
+        metrics.counter(f"{prefix}.harvest.addresses").inc(
+            harvester.addresses_harvested
+        )
 
 
 def run_all_scenarios(

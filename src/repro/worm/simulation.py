@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Set
 
+from ..obs import OBS
 from ..sim import Simulator
 from .knowledge import KnowledgeModel
 from .model import InfectionCurve, WormParams, WormState, validate_population
@@ -69,6 +70,11 @@ class WormSimulation:
         """Implant the worm on ``index`` at the start of the run."""
         if self.state[index] is not WormState.NOT_INFECTED:
             return
+        trace = OBS.trace
+        if trace is not None:
+            trace.instant(
+                "worm.seed", self.sim.now, lane="worm", args={"node": index}
+            )
         self._mark_infected(index)
         self._call_after(delay_s, self._activate, index)
 
@@ -105,6 +111,11 @@ class WormSimulation:
         self.curve.record(self.sim.now, self.infected_count)
 
     def _activate(self, index: int) -> None:
+        trace = OBS.trace
+        if trace is not None:
+            trace.instant(
+                "worm.activate", self.sim.now, lane="worm", args={"node": index}
+            )
         self.state[index] = _SCANNING
         self.add_targets(index, self.knowledge.targets_of(index))
         queue = self._queues.get(index)
@@ -115,21 +126,43 @@ class WormSimulation:
         self._call_after(self._scan_interval, self._scan, index)
 
     def _scan(self, index: int) -> None:
+        trace = OBS.trace
         queue = self._queues.get(index)
         if not queue:
             self._idle.add(index)
+            if trace is not None:
+                trace.instant(
+                    "worm.idle", self.sim.now, lane="worm", args={"node": index}
+                )
             return
         target = queue.popleft()
         self.scans_performed += 1
         state = self.state
-        if self.vulnerable[target] and state[target] is _NOT_INFECTED:
+        hit = self.vulnerable[target] and state[target] is _NOT_INFECTED
+        if trace is not None:
+            trace.instant(
+                "worm.scan",
+                self.sim.now,
+                lane="worm",
+                args={"node": index, "target": target, "hit": hit},
+            )
+        if hit:
             state[index] = _INFECTING
             self._call_after(self._infect_time, self._infection_done, index, target)
             return
         self._call_after(self._scan_interval, self._scan, index)
 
     def _infection_done(self, attacker: int, target: int) -> None:
-        if self.state[target] is _NOT_INFECTED:
+        new = self.state[target] is _NOT_INFECTED
+        trace = OBS.trace
+        if trace is not None:
+            trace.instant(
+                "worm.infection",
+                self.sim.now,
+                lane="worm",
+                args={"attacker": attacker, "target": target, "new": new},
+            )
+        if new:
             self._mark_infected(target)
             self.infections_completed += 1
             self._call_after(self._activation_delay, self._activate, target)

@@ -1,0 +1,115 @@
+"""Determinism of --metrics collection: serial and multiprocess runs of
+the same experiment must produce byte-identical snapshots, and the
+runner CLI must wire the whole pipeline together."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.fig8_worm_propagation import Fig8Config
+from repro.experiments.parallel import run_fig8_cells
+from repro.obs import OBS, collecting
+from repro.experiments.runner import main as runner_main
+from repro.worm import WormScenarioConfig
+
+SMALL = Fig8Config(
+    scenario_config=WormScenarioConfig(num_nodes=400, num_sections=16, seed=5),
+    runs=2,
+    horizons={s: 60.0 for s in (
+        "chord", "verme", "verme-secure", "verme-fast", "verme-compromise"
+    )},
+)
+
+
+def _snapshot_bytes(workers: int) -> str:
+    with collecting(metrics=True):
+        run_fig8_cells(SMALL, workers=workers)
+        return OBS.metrics.to_json()
+
+
+def test_serial_and_parallel_snapshots_byte_identical():
+    serial = _snapshot_bytes(workers=1)
+    parallel = _snapshot_bytes(workers=2)
+    assert serial == parallel
+    # And stable across repeated serial runs (same seed, same bytes).
+    assert serial == _snapshot_bytes(workers=1)
+
+
+def test_collection_does_not_change_results():
+    plain = run_fig8_cells(SMALL, workers=1)
+    with collecting(metrics=True):
+        collected = run_fig8_cells(SMALL, workers=1)
+    for scenario, results in plain.items():
+        got = collected[scenario]
+        assert [r.final_infected for r in results] == [
+            r.final_infected for r in got
+        ]
+        assert [r.curve.points for r in results] == [r.curve.points for r in got]
+
+
+def test_runner_metrics_flag_writes_snapshot(tmp_path, capsys):
+    out = tmp_path / "metrics.json"
+    assert runner_main(["fig8", "--runs", "1", "--metrics", str(out)]) == 0
+    assert "metrics snapshot written" in capsys.readouterr().out
+    snap = json.loads(out.read_text())
+    assert snap["schema"] == "repro.obs.metrics/1"
+    states = {
+        name: value
+        for name, value in snap["counters"].items()
+        if ".states." in name and name.startswith("worm.chord.")
+    }
+    assert sum(states.values()) == snap["counters"]["worm.chord.s1.population"]
+    # The runner restored the disabled default afterwards.
+    assert OBS.metrics is None and OBS.trace is None
+
+
+def test_runner_metrics_csv_variant(tmp_path):
+    out = tmp_path / "metrics.csv"
+    assert runner_main(["fig8", "--runs", "1", "--metrics", str(out)]) == 0
+    lines = out.read_text().splitlines()
+    assert lines[0] == "kind,name,field,value"
+    assert any(line.startswith("counter,worm.chord.") for line in lines)
+
+
+def test_runner_metrics_identical_across_workers(tmp_path):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    assert runner_main(["fig8", "--runs", "2", "--metrics", str(a)]) == 0
+    assert runner_main(
+        ["fig8", "--runs", "2", "--workers", "2", "--metrics", str(b)]
+    ) == 0
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_runner_trace_flag_forces_serial_and_validates(tmp_path, capsys):
+    from repro.obs import validate_trace_file
+
+    out = tmp_path / "run.trace.json"
+    assert runner_main(
+        ["fig8", "--runs", "1", "--workers", "4", "--trace", str(out)]
+    ) == 0
+    captured = capsys.readouterr()
+    assert "forcing --workers 1" in captured.err
+    assert validate_trace_file(out) == []
+    names = {
+        e["name"]
+        for e in json.loads(out.read_text())["traceEvents"]
+    }
+    assert "worm.infection" in names
+    assert "sim.run" in names
+
+
+def test_runner_preset_validation(capsys):
+    import pytest
+
+    with pytest.raises(SystemExit):
+        runner_main(["resilience", "--preset", "1k"])
+    with pytest.raises(SystemExit):
+        runner_main(["fig8", "--preset", "999z"])
+    with pytest.raises(SystemExit):
+        runner_main(["fig8", "--preset", "1k", "--paper-scale"])
+
+
+def test_runner_fig8_preset_1k_smoke(capsys):
+    assert runner_main(["fig8", "--runs", "1", "--preset", "1k"]) == 0
+    out = capsys.readouterr().out
+    assert " 1000" in out  # population column reflects the preset

@@ -1,0 +1,254 @@
+"""Unit tests for the repro.obs metrics registry, state switch, and the
+zero-cost-when-disabled contract."""
+
+from __future__ import annotations
+
+import json
+import os
+import tracemalloc
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import (
+    OBS,
+    MetricsRegistry,
+    collecting,
+    disable,
+    enable,
+    enabled,
+    flatten,
+    maybe_phase,
+    run_cell_collected,
+)
+from repro.obs.registry import iter_counters
+from repro.worm import WormScenarioConfig, run_scenario
+
+
+# -- registry -----------------------------------------------------------------
+
+
+def test_counter_gauge_histogram_basics():
+    reg = MetricsRegistry()
+    reg.counter("a").inc()
+    reg.counter("a").inc(4)
+    reg.gauge("g").set(2.5)
+    h = reg.histogram("h", bounds=(1.0, 10.0))
+    for v in (0.5, 1.0, 5.0, 100.0):
+        h.observe(v)
+    snap = reg.snapshot()
+    assert snap["counters"]["a"] == 5
+    assert snap["gauges"]["g"] == 2.5
+    hs = snap["histograms"]["h"]
+    # 0.5 and the exact bound hit 1.0 both land in the <=1.0 bucket.
+    assert hs["counts"] == [2, 1, 1]
+    assert hs["count"] == 4
+    assert hs["min"] == 0.5 and hs["max"] == 100.0
+
+
+def test_get_or_create_returns_same_instrument():
+    reg = MetricsRegistry()
+    assert reg.counter("x") is reg.counter("x")
+    assert reg.histogram("h") is reg.histogram("h")
+    assert len(reg) == 2
+    assert reg.names() == ["h", "x"]
+
+
+def test_cross_kind_name_collision_rejected():
+    reg = MetricsRegistry()
+    reg.counter("dup")
+    with pytest.raises(ValueError):
+        reg.gauge("dup")
+    with pytest.raises(ValueError):
+        reg.histogram("dup")
+
+
+def test_histogram_bounds_must_increase_and_match():
+    with pytest.raises(ValueError):
+        MetricsRegistry().histogram("h", bounds=(2.0, 1.0))
+    reg = MetricsRegistry()
+    reg.histogram("h", bounds=(1.0, 2.0))
+    with pytest.raises(ValueError):
+        reg.histogram("h", bounds=(1.0, 3.0))
+
+
+def test_snapshot_json_is_byte_stable():
+    def build():
+        reg = MetricsRegistry()
+        reg.counter("z.late").inc(3)
+        reg.counter("a.early").inc(1)
+        reg.gauge("mid").set(0.25)
+        reg.histogram("lat").observe(0.004)
+        return reg
+
+    assert build().to_json() == build().to_json()
+    # Registration order must not leak into the bytes.
+    reg = MetricsRegistry()
+    reg.histogram("lat").observe(0.004)
+    reg.gauge("mid").set(0.25)
+    reg.counter("a.early").inc(1)
+    reg.counter("z.late").inc(3)
+    assert reg.to_json() == build().to_json()
+
+
+def test_csv_rendering_round_numbers():
+    reg = MetricsRegistry()
+    reg.counter("c").inc(2)
+    reg.histogram("h", bounds=(1.0,)).observe(0.5)
+    lines = reg.to_csv().splitlines()
+    assert lines[0] == "kind,name,field,value"
+    assert "counter,c,value,2" in lines
+    assert any(line.startswith("histogram,h,le_1.0,") for line in lines)
+
+
+def test_merge_snapshot_adds_counters_and_buckets():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    for reg, n in ((a, 2), (b, 3)):
+        reg.counter("c").inc(n)
+        reg.gauge("g").set(n)
+        reg.histogram("h", bounds=(1.0,)).observe(n)
+    a.merge_snapshot(b.snapshot())
+    snap = a.snapshot()
+    assert snap["counters"]["c"] == 5
+    assert snap["gauges"]["g"] == 3  # last merge wins
+    assert snap["histograms"]["h"]["count"] == 2
+    assert snap["histograms"]["h"]["sum"] == 5.0
+    assert snap["histograms"]["h"]["max"] == 3.0
+
+
+def test_merge_rejects_foreign_schema():
+    with pytest.raises(ValueError):
+        MetricsRegistry().merge_snapshot({"schema": "something/else"})
+
+
+def test_flatten_and_iter_counters():
+    reg = MetricsRegistry()
+    reg.counter("net.drops.partition").inc(7)
+    reg.histogram("lookup.latency_s").observe(0.2)
+    snap = reg.snapshot()
+    flat = flatten(snap)
+    assert flat["net.drops.partition"] == 7.0
+    assert flat["lookup.latency_s.count"] == 1.0
+    assert dict(iter_counters(snap, "net.")) == {"net.drops.partition": 7}
+
+
+# -- the global switch --------------------------------------------------------
+
+
+def test_enable_disable_cycle():
+    assert not enabled()
+    enable(metrics=True, trace=True, profile=True)
+    try:
+        assert enabled()
+        assert OBS.metrics is not None
+        assert OBS.trace is not None
+        assert OBS.profile is not None
+    finally:
+        disable()
+    assert OBS.metrics is None and OBS.trace is None and OBS.profile is None
+
+
+def test_collecting_restores_previous_state():
+    with collecting(metrics=True):
+        outer = OBS.metrics
+        assert outer is not None
+        with collecting(metrics=True, trace=True):
+            assert OBS.metrics is not outer
+            assert OBS.trace is not None
+        assert OBS.metrics is outer
+        assert OBS.trace is None
+    assert not enabled()
+
+
+def test_run_cell_collected_isolates_registries():
+    def cell(n):
+        OBS.metrics.counter("cell.calls").inc(n)
+        return n * 2
+
+    with collecting(metrics=True):
+        outer = OBS.metrics
+        result, snap = run_cell_collected(cell, (5,))
+        assert result == 10
+        assert snap["counters"]["cell.calls"] == 5
+        # The cell wrote to its own fresh registry, not the outer one.
+        assert OBS.metrics is outer
+        assert "cell.calls" not in outer.snapshot()["counters"]
+        outer.merge_snapshot(snap)
+        assert outer.snapshot()["counters"]["cell.calls"] == 5
+
+
+def test_maybe_phase_noop_when_disabled():
+    assert not enabled()
+    ctx = maybe_phase("anything")
+    assert ctx is maybe_phase("anything-else")  # the shared null context
+    with ctx:
+        pass
+
+
+def test_profiler_phase_accumulates():
+    enable(metrics=False, profile=True)
+    try:
+        with maybe_phase("work"):
+            pass
+        with maybe_phase("work"):
+            pass
+        summary = OBS.profile.summary()
+        assert summary["phases"]["work"]["entries"] == 2
+        assert summary["peak_rss_kib"] > 0
+        assert "work" in OBS.profile.format_report()
+    finally:
+        disable()
+
+
+# -- disabled mode is free ----------------------------------------------------
+
+
+def _tiny_worm_run():
+    config = WormScenarioConfig(num_nodes=200, num_sections=8, seed=3)
+    return run_scenario("chord", config, until=60.0)
+
+
+def test_disabled_mode_records_and_allocates_nothing():
+    """With observability off, a full scenario run must not touch the
+    obs package at all: no registry, no trace events, and no allocation
+    attributed to any repro/obs source file."""
+    disable()
+    assert not enabled()
+    _tiny_worm_run()  # warm every import and code path first
+    obs_dir = os.path.dirname(obs.__file__)
+    tracemalloc.start()
+    try:
+        _tiny_worm_run()
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    obs_allocations = [
+        trace
+        for trace in snapshot.traces
+        if any(frame.filename.startswith(obs_dir) for frame in trace.traceback)
+    ]
+    assert obs_allocations == []
+    assert OBS.metrics is None and OBS.trace is None and OBS.profile is None
+
+
+def test_enabled_run_counts_transitions_summing_to_population():
+    config = WormScenarioConfig(num_nodes=300, num_sections=16, seed=11)
+    with collecting(metrics=True):
+        result = run_scenario("chord", config, until=120.0)
+        snap = OBS.metrics.snapshot()
+    prefix = f"worm.chord.s{config.seed}.states."
+    states = {n: v for n, v in iter_counters(snap, prefix)}
+    assert sum(states.values()) == result.population_size
+    assert (
+        snap["counters"][f"worm.chord.s{config.seed}.population"]
+        == result.population_size
+    )
+
+
+def test_metrics_snapshot_is_valid_json():
+    with collecting(metrics=True):
+        _tiny_worm_run()
+        text = OBS.metrics.to_json()
+    parsed = json.loads(text)
+    assert parsed["schema"] == "repro.obs.metrics/1"
+    assert parsed["counters"]
