@@ -13,7 +13,8 @@ Two classes of drift are caught:
   files are accepted; anchor contents are not verified).
 * **Phantom CLI flags** — every ``--flag`` token on a documented
   command line that invokes ``repro.experiments.runner``,
-  ``repro.obs.trace``, or one of the ``benchmarks/perf`` scripts must
+  ``repro.obs.trace``, ``repro.invariants`` (the stress harness), or
+  one of the ``benchmarks/perf`` scripts must
   appear in that tool's ``--help``, and every ``--preset NAME`` for the
   runner must name a real preset.  Docs describing removed or renamed
   flags fail CI instead of lying to the reader.
@@ -100,11 +101,13 @@ def _load_bench(name: str):
 def tool_vocabulary() -> Dict[str, Set[str]]:
     """Command-substring -> accepted ``--flag`` set, from live ``--help``."""
     from repro.experiments import runner
+    from repro.invariants import harness
     from repro.obs import trace
 
     vocab = {
         "repro.experiments.runner": _help_flags(runner.main, "runner"),
         "repro.obs.trace": _help_flags(trace.main, "trace"),
+        "repro.invariants": _help_flags(harness.main, "invariants"),
     }
     for bench in ("fig5_lookup", "worm_propagation", "dht_ops",
                   "kernel_throughput"):

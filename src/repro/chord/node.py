@@ -195,6 +195,20 @@ class ChordNode:
         """Chord keeps a single predecessor; Verme keeps a list."""
         return 1
 
+    def routing_state(self):
+        """Plain-ids view of the routing tables for auditing and
+        invariant checking (:mod:`repro.invariants`):
+        ``(successor ids, predecessor ids, ((k, target, entry id), ...))``.
+        Reads the live entry lists without copying NodeInfo objects."""
+        return (
+            tuple(e.node_id for e in self.successors.entries_view),
+            tuple(e.node_id for e in self.predecessors.entries_view),
+            tuple(
+                (k, self.finger_target(k), info.node_id)
+                for k, info in self.fingers.items()
+            ),
+        )
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.node_id:#x} at {self.address}>"
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Protocol, Sequence
 
 from ..analysis.stats import LookupStats
+from ..obs import OBS
 from ..overlay.snapshot import StaticOverlay, VermeStaticOverlay
 from ..sim import Simulator
 from .lookup import LookupPurpose, LookupResult, LookupStyle
@@ -168,6 +169,9 @@ class ChurnDriver:
         self.population.remove(node)
         node.crash()
         self.deaths += 1
+        inv = OBS.invariants
+        if inv is not None:
+            inv.note_membership(self.sim)
         self.sim.schedule(
             self.rejoin_delay_s,
             self._respawn,
@@ -194,6 +198,9 @@ class ChurnDriver:
             self.joins += 1
             self.population.add(node)
             self._schedule_death(node)
+            inv = OBS.invariants
+            if inv is not None:
+                inv.note_membership(self.sim)
         else:
             self.failed_joins += 1
             self.sim.schedule(

@@ -156,6 +156,22 @@ def run_cell_instrumented(
             warmup_s=config.warmup_s,
         )
         workload.start()
+
+        inv = OBS.invariants
+        if inv is not None:
+            # Roughly 20 samples per cell, but never below the
+            # stabilization period (checking faster than the protocol
+            # repairs is noise).
+            inv.watch(
+                sim,
+                ring.population,
+                layout=layout,
+                until=config.duration_s,
+                interval_s=max(
+                    config.duration_s / 20.0, config.stabilize_interval_s
+                ),
+                cell=f"fig5.{system}.lt{mean_lifetime_s:g}.r{run_index}",
+            )
     with maybe_phase("fig5.run", sim):
         sim.run(until=config.duration_s)
 

@@ -210,6 +210,18 @@ def run_resilience_cell(
     )
     workload.start()
 
+    inv = OBS.invariants
+    if inv is not None:
+        inv.watch(
+            sim,
+            ring.population,
+            layout=layout,
+            fault_plan=plan,
+            until=config.duration_s,
+            interval_s=config.bucket_s,
+            cell=f"resilience.{system}.r{run_index}",
+        )
+
     coherence: List[Tuple[float, float]] = []
 
     def probe() -> None:

@@ -29,6 +29,19 @@ Observability (see :mod:`repro.obs` and ``docs/observability.md``):
   https://ui.perfetto.dev.  Serial-only: forces ``--workers 1``.
 * ``--profile`` runs under cProfile *and* prints a per-phase
   wall/CPU/event-rate report.
+
+Correctness (see :mod:`repro.invariants` and ``docs/correctness.md``):
+
+* ``--invariants sample`` (fig5 and resilience) samples the Zave ring
+  invariants and the Verme containment invariant on the sim clock
+  during the run and prints a violation summary.  Serial-only: forces
+  ``--workers 1``.
+* ``--invariants strict`` additionally writes
+  ``invariants_<figure>.json`` (the structured violation report) and
+  exits non-zero if any hard violation was recorded, printing a
+  one-command repro line.
+* ``--seed N`` overrides the experiment config's base seed, so a CI
+  invariant failure reproduces locally with the printed command.
 """
 
 from __future__ import annotations
@@ -98,11 +111,18 @@ def _apply_preset(args, cfg):
     return cfg
 
 
+def _apply_seed(args, cfg):
+    if args.seed is not None:
+        cfg = replace(cfg, seed=args.seed)
+    return cfg
+
+
 def _fig5(args) -> None:
     cfg = Fig5Config()
     if args.paper_scale:
         cfg = cfg.paper_scale()
     cfg = _apply_preset(args, cfg)
+    cfg = _apply_seed(args, cfg)
     rows = run_fig5_parallel(cfg, workers=args.workers)
     if args.csv:
         print(f"wrote {write_rows_csv(Path(args.csv) / 'fig5.csv', rows)}")
@@ -119,6 +139,7 @@ def _fig67(args, which: str) -> None:
     cfg = DhtExperimentConfig(num_nodes=400, num_sections=32)
     if args.paper_scale:
         cfg = cfg.paper_scale()
+    cfg = _apply_seed(args, cfg)
     results = run_dht_parallel(cfg, workers=args.workers)
     if args.csv:
         flat = [row for res in results for row in res.rows()]
@@ -146,6 +167,11 @@ def _fig8(args) -> None:
     if args.paper_scale:
         cfg = cfg.paper_scale()
     cfg = _apply_preset(args, cfg)
+    if args.seed is not None:
+        cfg = replace(
+            cfg,
+            scenario_config=replace(cfg.scenario_config, seed=args.seed),
+        )
     if args.engine != cfg.scenario_config.engine:
         cfg = replace(
             cfg,
@@ -174,6 +200,7 @@ def _resilience(args) -> None:
     cfg = ResilienceConfig()
     if args.paper_scale:
         cfg = cfg.paper_scale()
+    cfg = _apply_seed(args, cfg)
     rows = run_resilience(cfg)
     if args.csv:
         print(f"wrote {write_rows_csv(Path(args.csv) / 'resilience.csv', rows)}")
@@ -190,6 +217,7 @@ def _resilience(args) -> None:
 
 def _ablations(args) -> None:
     cfg = WormScenarioConfig(num_nodes=3000, num_sections=128, seed=9)
+    cfg = _apply_seed(args, cfg)
     out = run_ablations_parallel(cfg, until=200.0, workers=args.workers)
     nf = out["naive_finger"]
     print("finger displacement:")
@@ -260,6 +288,16 @@ def main(argv=None) -> int:
         help="run under cProfile, write profile_<figure>.pstats, and "
              "print a per-phase wall/CPU/event-rate report (profiles "
              "this process only; combine with --workers 1)")
+    parser.add_argument(
+        "--invariants", choices=["sample", "strict"], default=None,
+        help="check ring/containment invariants on the sim clock during "
+             "fig5/resilience runs (see docs/correctness.md); strict "
+             "writes invariants_<figure>.json and exits non-zero on "
+             "hard violations; forces --workers 1")
+    parser.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="override the experiment config's base seed (reproduce CI "
+             "invariant failures locally)")
     args = parser.parse_args(argv)
     if args.preset is not None:
         table = PRESETS.get(args.figure)
@@ -273,6 +311,15 @@ def main(argv=None) -> int:
     if args.trace is not None and args.workers != 1:
         print("--trace is serial-only; forcing --workers 1", file=sys.stderr)
         args.workers = 1
+    if args.invariants is not None:
+        if args.figure not in ("fig5", "resilience"):
+            parser.error(
+                "--invariants is only supported for fig5 and resilience"
+            )
+        if args.workers != 1:
+            print("--invariants is serial-only; forcing --workers 1",
+                  file=sys.stderr)
+            args.workers = 1
     started = time.time()
     dispatch = {
         "fig5": lambda: _fig5(args),
@@ -291,6 +338,12 @@ def main(argv=None) -> int:
             trace=args.trace is not None,
             profile=args.profile,
         )
+    checker = None
+    if args.invariants is not None:
+        from ..invariants import InvariantChecker
+
+        checker = InvariantChecker(mode=args.invariants, seed=args.seed)
+        OBS.invariants = checker
     try:
         if args.profile:
             import cProfile
@@ -326,12 +379,60 @@ def main(argv=None) -> int:
     finally:
         if obs_on:
             obs_disable()
+        OBS.invariants = None
+    exit_code = 0
+    if checker is not None:
+        exit_code = _report_invariants(args, checker)
     summary = f"\n[{args.figure} done in {time.time() - started:.1f}s"
     peak = last_peak_rss_kib()
     if peak is not None:
         summary += (f", peak worker RSS {peak:,} KiB"
                     f" across {len(last_worker_rss_kib())} process(es)")
     print(summary + "]")
+    return exit_code
+
+
+def _repro_command(args) -> str:
+    """The one-command line that reproduces an invariant failure."""
+    parts = ["python -m repro.experiments.runner", args.figure]
+    if args.paper_scale:
+        parts.append("--paper-scale")
+    if args.preset is not None:
+        parts.append(f"--preset {args.preset}")
+    seed = args.seed
+    if seed is None:
+        seed = {
+            "fig5": Fig5Config().seed,
+            "resilience": ResilienceConfig().seed,
+        }.get(args.figure, 0)
+    parts.append(f"--seed {seed}")
+    parts.append("--invariants strict")
+    return " ".join(parts)
+
+
+def _report_invariants(args, checker) -> int:
+    """Print the checker summary; in strict mode write the JSON report
+    and return 1 (with a repro line) on hard violations."""
+    print("\n" + checker.summary())
+    errors = checker.errors
+    if args.invariants == "strict":
+        import json
+
+        path = Path(f"invariants_{args.figure}.json")
+        path.write_text(json.dumps(checker.report(), indent=2) + "\n")
+        print(f"invariant report written to {path}")
+        if errors:
+            for violation in errors[:10]:
+                print(f"  {violation}")
+            if len(errors) > 10:
+                print(f"  ... {len(errors) - 10} more (see {path})")
+            print("reproduce with:")
+            print(f"  {_repro_command(args)}")
+            return 1
+    elif errors:
+        for violation in errors[:10]:
+            print(f"  {violation}")
+        print("re-run with --invariants strict for the full JSON report")
     return 0
 
 

@@ -15,7 +15,7 @@ from .plan import (
     LinkVerdict,
     Partition,
 )
-from .script import Outage, OutageScript
+from .script import Outage, OutageScript, merge_outage_windows
 
 __all__ = [
     "CAUSE_GRAY",
@@ -33,4 +33,5 @@ __all__ = [
     "OutageScript",
     "Partition",
     "PeerRecord",
+    "merge_outage_windows",
 ]

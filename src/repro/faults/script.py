@@ -8,6 +8,12 @@ compose freely with a running
 :class:`~repro.chord.ring.ChurnDriver` — a host already killed by churn
 simply has no node to crash when its outage starts, and a restarted
 node is churned like any other.
+
+Overlapping or abutting windows on the same host are merged into one
+downtime interval before scheduling: a host cannot crash twice without
+restarting in between, and a restart must never fire while a later
+window still holds the host down.  A permanent outage (infinite
+duration) absorbs every later window on its host.
 """
 
 from __future__ import annotations
@@ -15,7 +21,9 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..obs import OBS
 
 
 @dataclass(frozen=True)
@@ -40,6 +48,34 @@ class Outage:
         return self.start_s + self.duration_s
 
 
+def merge_outage_windows(
+    outages: Sequence[Outage],
+) -> List[Tuple[int, float, float]]:
+    """Collapse each host's overlapping/abutting windows into disjoint
+    ``(host_slot, start_s, end_s)`` intervals (``end_s`` may be
+    ``inf``), sorted by start time then host."""
+    by_host: Dict[int, List[Outage]] = {}
+    for outage in outages:
+        by_host.setdefault(outage.host_slot, []).append(outage)
+    merged: List[Tuple[int, float, float]] = []
+    for host, windows in by_host.items():
+        windows.sort(key=lambda o: o.start_s)
+        current_start = current_end = None
+        for outage in windows:
+            end = outage.start_s + outage.duration_s  # inf-safe
+            if current_start is None:
+                current_start, current_end = outage.start_s, end
+            elif outage.start_s <= current_end:
+                current_end = max(current_end, end)
+            else:
+                merged.append((host, current_start, current_end))
+                current_start, current_end = outage.start_s, end
+        if current_start is not None:
+            merged.append((host, current_start, current_end))
+    merged.sort(key=lambda w: (w[1], w[0]))
+    return merged
+
+
 class OutageScript:
     """Replays :class:`Outage` windows against a live population."""
 
@@ -57,6 +93,7 @@ class OutageScript:
         self.factory = factory
         self.rng = rng
         self.outages = sorted(outages, key=lambda o: o.start_s)
+        self.windows = merge_outage_windows(self.outages)
         self.retry_delay_s = retry_delay_s
         self.crashes = 0
         self.restarts = 0
@@ -64,8 +101,8 @@ class OutageScript:
         self.skipped = 0
 
     def start(self) -> None:
-        for outage in self.outages:
-            self.sim.schedule_at(outage.start_s, self._crash, outage)
+        for host_slot, start_s, end_s in self.windows:
+            self.sim.schedule_at(start_s, self._crash, host_slot, end_s)
 
     def _node_on_host(self, host_slot: int):
         for node in self.population.nodes:
@@ -73,20 +110,22 @@ class OutageScript:
                 return node
         return None
 
-    def _crash(self, outage: Outage) -> None:
-        node = self._node_on_host(outage.host_slot)
+    def _crash(self, host_slot: int, end_s: float) -> None:
+        node = self._node_on_host(host_slot)
         if node is None or not node.alive:
             self.skipped += 1  # churn got there first
             return
         self.population.remove(node)
         node.crash()
         self.crashes += 1
-        restart_at = outage.restart_s
-        if restart_at is not None:
+        inv = OBS.invariants
+        if inv is not None:
+            inv.note_membership(self.sim)
+        if not math.isinf(end_s):
             self.sim.schedule_at(
-                restart_at,
+                end_s,
                 self._restart,
-                outage.host_slot,
+                host_slot,
                 node.address.incarnation + 1,
             )
 
@@ -105,6 +144,9 @@ class OutageScript:
         if ok:
             self.restarts += 1
             self.population.add(node)
+            inv = OBS.invariants
+            if inv is not None:
+                inv.note_membership(self.sim)
         else:
             self.failed_restarts += 1
             self.sim.schedule(

@@ -1,0 +1,80 @@
+"""Continuous correctness: ring + containment invariants checked online.
+
+Zave's "How to Make Chord Correct" analysis shows that Chord's ordered
+ring — one successor cycle, every node connected to it, ordered
+duplicate-free successor lists — is exactly what breaks under churn,
+and Verme's containment argument (§4.3) adds the section-typing
+invariant on top.  This package turns those into executable predicates
+and runs them *during* simulations, not just after:
+
+* :mod:`~repro.invariants.snapshot` — plain-integer captures of live
+  routing state (:class:`RingSnapshot`);
+* :mod:`~repro.invariants.predicates` — the predicate library and its
+  three-level severity model (hard structural errors, transient ring
+  invariants, conditional containment sizing);
+* :mod:`~repro.invariants.checker` — :class:`InvariantChecker`, the
+  sim-clock sampler installed at ``OBS.invariants`` (zero-cost when
+  off) and surfaced as ``runner.py ... --invariants sample|strict``;
+* :mod:`~repro.invariants.harness` — the small-N exhaustive /
+  randomized interleaving stress harness
+  (``python -m repro.invariants.harness``).
+
+``docs/correctness.md`` is the user guide.
+"""
+
+from .checker import (
+    EDGE_SETTLE_S,
+    MODES,
+    InvariantChecker,
+    InvariantViolationError,
+)
+from .predicates import (
+    PREDICATES,
+    SEVERITY_CONDITIONAL,
+    SEVERITY_ERROR,
+    SEVERITY_TRANSIENT,
+    ContainmentViolation,
+    Violation,
+    check_containment,
+    check_finger_ranges,
+    check_neighbor_lists,
+    check_predecessor_coherence,
+    check_ring,
+    containment_violations,
+    evaluate,
+)
+from .harness import (
+    OPS,
+    StressConfig,
+    StressResult,
+    run_interleavings,
+    run_stress,
+)
+from .snapshot import NodeRecord, RingSnapshot
+
+__all__ = [
+    "EDGE_SETTLE_S",
+    "MODES",
+    "OPS",
+    "PREDICATES",
+    "SEVERITY_CONDITIONAL",
+    "SEVERITY_ERROR",
+    "SEVERITY_TRANSIENT",
+    "ContainmentViolation",
+    "InvariantChecker",
+    "InvariantViolationError",
+    "NodeRecord",
+    "RingSnapshot",
+    "StressConfig",
+    "StressResult",
+    "Violation",
+    "check_containment",
+    "check_finger_ranges",
+    "check_neighbor_lists",
+    "check_predecessor_coherence",
+    "check_ring",
+    "containment_violations",
+    "evaluate",
+    "run_interleavings",
+    "run_stress",
+]

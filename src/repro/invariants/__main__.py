@@ -1,0 +1,8 @@
+"""``python -m repro.invariants`` — the interleaving stress harness CLI
+(see :mod:`repro.invariants.harness` for the flags)."""
+
+import sys
+
+from .harness import main
+
+sys.exit(main())

@@ -1,0 +1,288 @@
+"""Small-N interleaving stress harness for the protocol invariants.
+
+Drives join / crash / rejoin / stabilize steps directly against live
+``repro.chord``/``repro.verme`` nodes and asserts the invariant
+predicates after *every* step — the classic model-checking recipe at
+simulation scale.  Two modes:
+
+* **random** — one long walk: ``steps`` operations drawn from a
+  deterministic RNG, a settle window after each, a hard-predicate
+  check per step and a full (final) check at the end.
+* **exhaustive** — every operation sequence of length ``depth``
+  (``ops^depth`` fresh rings), checked the same way.  At the default
+  depth of 3 over crash/join/rejoin/settle this is 64 sequences and a
+  few seconds of wall time.
+
+Also runnable from the shell (the CI ``invariant-smoke`` job does)::
+
+    python -m repro.invariants.harness --system verme --steps 40
+    python -m repro.invariants.harness --system chord --mode exhaustive --depth 3
+
+Exit status 1 if any sequence recorded a hard violation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .checker import InvariantChecker
+from .predicates import SEVERITY_ERROR, Violation
+
+#: The operations a step can take.  ``rejoin`` restarts a previously
+#: crashed host (next incarnation, real join protocol); ``settle`` just
+#: advances the sim through more stabilization rounds.
+OPS = ("crash", "join", "rejoin", "settle")
+
+
+@dataclass(frozen=True)
+class StressConfig:
+    """Scale and pacing of one stress run; defaults finish in seconds."""
+
+    system: str = "chord"               # "chord" | "verme"
+    num_nodes: int = 8
+    num_sections: int = 4               # verme only
+    id_bits: int = 32
+    seed: int = 0
+    steps: int = 24                     # random mode
+    depth: int = 3                      # exhaustive mode
+    settle_s: float = 35.0              # after each step
+    final_settle_s: float = 240.0       # before the final check
+    stabilize_interval_s: float = 10.0
+    finger_interval_s: float = 20.0
+    min_alive: int = 4                  # crash ops keep this many up
+
+    def __post_init__(self) -> None:
+        if self.system not in ("chord", "verme"):
+            raise ValueError(f"unknown system {self.system!r}")
+        if self.num_nodes < self.min_alive:
+            raise ValueError("num_nodes must be at least min_alive")
+
+
+@dataclass
+class StressResult:
+    """What a stress run did and found."""
+
+    sequences: int = 0
+    steps: int = 0
+    checks: int = 0
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Violation]:
+        """Hard violations only (what :meth:`assert_clean` fails on)."""
+        return [v for v in self.violations if v.severity == SEVERITY_ERROR]
+
+    def assert_clean(self) -> None:
+        """Raise if any hard violation was recorded."""
+        errors = self.errors
+        if errors:
+            lines = "\n  ".join(str(v) for v in errors[:20])
+            raise AssertionError(
+                f"stress harness found {len(errors)} hard violation(s):"
+                f"\n  {lines}"
+            )
+
+
+class _StressRun:
+    """One live ring plus the bookkeeping to mutate it step by step."""
+
+    def __init__(self, config: StressConfig, label: str) -> None:
+        # Imported lazily: repro.experiments pulls in every driver, and
+        # the experiment drivers import repro.invariants via repro.obs
+        # consumers — keep package import light and cycle-free.
+        from ..chord.config import OverlayConfig
+        from ..experiments.builders import build_ring
+        from ..ids.idspace import IdSpace
+        from ..ids.sections import VermeIdLayout
+        from ..net.latency import ConstantLatency
+        from ..net.network import Network
+        from ..sim import RngRegistry, Simulator
+        from ..sim.rng import derive_seed
+
+        self.config = config
+        self.label = label
+        space = IdSpace(config.id_bits)
+        overlay_cfg = OverlayConfig(
+            space=space,
+            num_successors=3,
+            num_predecessors=3,
+            stabilize_interval_s=config.stabilize_interval_s,
+            finger_interval_s=config.finger_interval_s,
+        )
+        self.layout = (
+            VermeIdLayout.for_sections(space, config.num_sections)
+            if config.system == "verme"
+            else None
+        )
+        rngs = RngRegistry(derive_seed(config.seed, f"stress:{label}"))
+        self.sim = Simulator()
+        # Enough host slots for every join the walk can make.
+        max_hosts = config.num_nodes + max(config.steps, config.depth) + 2
+        network = Network(
+            self.sim, ConstantLatency(num_hosts=max_hosts, one_way=0.02)
+        )
+        ring = build_ring(
+            self.sim, network, overlay_cfg, config.num_nodes, rngs,
+            self.layout,
+        )
+        self.population = ring.population
+        self.factory = ring.factory
+        self.rng = rngs.stream("ops")
+        self.next_host = config.num_nodes
+        self.crashed: List[Tuple[int, int]] = []  # (host_slot, incarnation)
+
+    def apply(self, op: str) -> str:
+        """Apply one operation; returns the op actually applied (an
+        infeasible op — crash below min_alive, rejoin with nothing
+        crashed — degrades to ``settle``)."""
+        if op == "crash" and len(self.population) > self.config.min_alive:
+            node = self.population.pick(self.rng)
+            self.population.remove(node)
+            node.crash()
+            self.crashed.append(
+                (node.address.host_slot, node.address.incarnation)
+            )
+            return op
+        if op == "join":
+            self._start_join(self.next_host, 0)
+            self.next_host += 1
+            return op
+        if op == "rejoin" and self.crashed:
+            host, incarnation = self.crashed.pop(
+                self.rng.randrange(len(self.crashed))
+            )
+            self._start_join(host, incarnation + 1)
+            return op
+        return "settle"
+
+    def _start_join(self, host_slot: int, incarnation: int) -> None:
+        bootstrap = self.population.pick(self.rng)
+        node = self.factory.create(host_slot, incarnation)
+        node.join(
+            bootstrap.address,
+            on_done=lambda ok: self.population.add(node) if ok else None,
+        )
+
+    def settle(self, seconds: float) -> None:
+        """Advance the sim through ``seconds`` of stabilization."""
+        self.sim.run(until=self.sim.now + seconds)
+
+
+def _run_sequence(
+    config: StressConfig,
+    checker: InvariantChecker,
+    ops: List[str],
+    label: str,
+) -> int:
+    """Drive one operation sequence; returns the number of steps."""
+    run = _StressRun(config, label)
+    for index, op in enumerate(ops):
+        applied = run.apply(op)
+        run.settle(config.settle_s)
+        checker.check_population(
+            run.population.nodes,
+            run.sim.now,
+            layout=run.layout,
+            cell=f"{label}.step{index}:{applied}",
+        )
+    run.settle(config.final_settle_s)
+    checker.check_population(
+        run.population.nodes,
+        run.sim.now,
+        layout=run.layout,
+        final=True,
+        cell=f"{label}.final",
+    )
+    return len(ops)
+
+
+def run_stress(config: StressConfig) -> StressResult:
+    """Random mode: one ``config.steps``-long walk over :data:`OPS`."""
+    checker = InvariantChecker(mode="strict", seed=config.seed)
+    walk_rng = random.Random(config.seed)
+    ops = [walk_rng.choice(OPS) for _ in range(config.steps)]
+    steps = _run_sequence(
+        config, checker, ops, f"stress.{config.system}.random"
+    )
+    return StressResult(
+        sequences=1,
+        steps=steps,
+        checks=checker.checks,
+        violations=checker.violations,
+    )
+
+
+def run_interleavings(
+    config: StressConfig, ops: Tuple[str, ...] = OPS
+) -> StressResult:
+    """Exhaustive mode: every ``ops``-sequence of length ``config.depth``
+    against a fresh ring each."""
+    checker = InvariantChecker(mode="strict", seed=config.seed)
+    sequences = 0
+    steps = 0
+    for index, seq in enumerate(itertools.product(ops, repeat=config.depth)):
+        sequences += 1
+        steps += _run_sequence(
+            config, checker, list(seq),
+            f"stress.{config.system}.seq{index}:{'-'.join(seq)}",
+        )
+    return StressResult(
+        sequences=sequences,
+        steps=steps,
+        checks=checker.checks,
+        violations=checker.violations,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (see the module docstring)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.invariants.harness", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--system", choices=["chord", "verme"],
+                        default="chord")
+    parser.add_argument("--mode", choices=["random", "exhaustive"],
+                        default="random")
+    parser.add_argument("--steps", type=int, default=24,
+                        help="walk length in random mode")
+    parser.add_argument("--depth", type=int, default=3,
+                        help="sequence length in exhaustive mode")
+    parser.add_argument("--nodes", type=int, default=8,
+                        help="initial ring size")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    config = StressConfig(
+        system=args.system,
+        num_nodes=args.nodes,
+        steps=args.steps,
+        depth=args.depth,
+        seed=args.seed,
+    )
+    if args.mode == "random":
+        result = run_stress(config)
+    else:
+        result = run_interleavings(config)
+    counts = {"error": 0, "transient": 0, "conditional": 0}
+    for violation in result.violations:
+        counts[violation.severity] += 1
+    print(
+        f"{args.system} {args.mode}: {result.sequences} sequence(s), "
+        f"{result.steps} steps, {result.checks} checks — "
+        f"{counts['error']} errors, {counts['transient']} transient, "
+        f"{counts['conditional']} conditional"
+    )
+    for violation in result.errors[:20]:
+        print(f"  {violation}")
+    return 1 if result.errors else 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,415 @@
+"""The invariant predicate library (Zave ring invariants + Verme §4.3).
+
+Each predicate takes a :class:`~repro.invariants.snapshot.RingSnapshot`
+and returns structured :class:`Violation` records.  Predicates fall
+into three severity classes, because not every invariant *can* hold at
+every instant of a faulty run:
+
+* ``error`` — must hold on every snapshot, churn or not.  Successor and
+  predecessor lists ordered, duplicate-free and never self-referential
+  (the :class:`~repro.chord.state.NeighborList` contract), and — for
+  Verme — no *finger* entry of the node's own type outside its section
+  (``VermeNode._finger_fixed`` refuses such entries, so one appearing
+  means corrupted state).
+* ``transient`` — Zave's ring invariants.  The *inductive* core — one
+  successor cycle traversing the id space exactly once, every alive
+  node connected to it — legitimately breaks during a partition or
+  churn burst (that is Zave's whole point) and must be restored by
+  stabilization: those predicates escalate to ``error`` on a **final**
+  (end-of-run, post-heal) evaluation.  The *eventual* pointer ideals —
+  the predecessor of your first successor is you, Chord fingers at or
+  past their power-of-two targets — converge only one walked-back node
+  per stabilization round, so a bounded post-heal window cannot
+  guarantee them; they stay ``transient`` even on final evaluations
+  (Zave's appendage states) and are reported for inspection.
+* ``conditional`` — Verme containment via successor/predecessor lists.
+  The paper's guarantee is probabilistic: lists stay within two
+  sections only when sections are sized against the list length
+  (:func:`~repro.verme.audit.max_safe_neighbor_list`).  An undersized
+  ring violates this *by construction* — e.g. the default resilience
+  config (64 nodes, 8 sections, 8-entry lists) reports dozens of
+  spills at bootstrap.  These are recorded, never escalate, and are
+  exactly the condition an operator should check before trusting the
+  containment story (see ``docs/correctness.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..ids.sections import VermeIdLayout
+from .snapshot import NodeRecord, RingSnapshot
+
+SEVERITY_ERROR = "error"
+SEVERITY_TRANSIENT = "transient"
+SEVERITY_CONDITIONAL = "conditional"
+
+#: Every predicate name ``evaluate`` can emit.
+PREDICATES = (
+    "successor-list",
+    "predecessor-list",
+    "finger-range",
+    "containment",
+    "ring-stranded",
+    "ring-split",
+    "ring-order",
+    "pred-coherence",
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation, with enough context to reproduce it."""
+
+    predicate: str
+    severity: str
+    time_s: float
+    node_id: int
+    detail: str
+    entries: Tuple[int, ...] = ()
+    cell: str = ""
+    seed: Optional[int] = None
+
+    def to_record(self) -> dict:
+        """JSON-serialisable form (ids as hex strings for readability)."""
+        return {
+            "predicate": self.predicate,
+            "severity": self.severity,
+            "time_s": self.time_s,
+            "node_id": f"{self.node_id:#x}",
+            "detail": self.detail,
+            "entries": [f"{e:#x}" for e in self.entries],
+            "cell": self.cell,
+            "seed": self.seed,
+        }
+
+    def __str__(self) -> str:
+        where = f" [{self.cell}]" if self.cell else ""
+        return (
+            f"t={self.time_s:.1f}s {self.predicate} ({self.severity}) "
+            f"node {self.node_id:#x}: {self.detail}{where}"
+        )
+
+
+@dataclass(frozen=True)
+class ContainmentViolation:
+    """One same-type routing entry that crosses a section boundary.
+
+    ``node_section``/``entry_section``/``node_type`` default to ``-1``
+    for backward compatibility with records constructed before the
+    fields existed; :func:`containment_violations` always fills them.
+    """
+
+    node_id: int
+    entry_id: int
+    table: str  # "successors" | "predecessors" | "fingers"
+    node_section: int = -1
+    entry_section: int = -1
+    node_type: int = -1
+
+    def __str__(self) -> str:
+        sections = ""
+        if self.node_section >= 0:
+            sections = (
+                f", section {self.node_section} -> {self.entry_section}"
+            )
+        return (
+            f"{self.node_id:#x} -> {self.entry_id:#x} "
+            f"(same type, different section, via {self.table}{sections})"
+        )
+
+
+def containment_violations(
+    layout: VermeIdLayout,
+    node_id: int,
+    successors: Iterable[int],
+    predecessors: Iterable[int],
+    fingers: Iterable[int],
+) -> List[ContainmentViolation]:
+    """THE paper invariant (§4.3), single implementation: every routing
+    entry of the node's own type outside its own section."""
+    out: List[ContainmentViolation] = []
+    node_section = layout.section_index(node_id)
+    node_type = layout.type_of(node_id)
+    for table, ids in (
+        ("successors", successors),
+        ("predecessors", predecessors),
+        ("fingers", fingers),
+    ):
+        for entry in ids:
+            if entry == node_id:
+                continue
+            if layout.same_type(entry, node_id) and not layout.same_section(
+                entry, node_id
+            ):
+                out.append(
+                    ContainmentViolation(
+                        node_id,
+                        entry,
+                        table,
+                        node_section=node_section,
+                        entry_section=layout.section_index(entry),
+                        node_type=node_type,
+                    )
+                )
+    return out
+
+
+def _list_violations(
+    record: NodeRecord, ids: Tuple[int, ...], mask: int, clockwise: bool,
+    predicate: str, time_s: float,
+) -> List[Violation]:
+    """Ordered (strictly, by ring distance), duplicate-free, no self."""
+    out: List[Violation] = []
+    table = "successor" if clockwise else "predecessor"
+    prev_dist = 0
+    for i, entry in enumerate(ids):
+        if entry == record.node_id:
+            out.append(Violation(
+                predicate, SEVERITY_ERROR, time_s, record.node_id,
+                f"{table} list contains the node itself at index {i}",
+                entries=ids,
+            ))
+            continue
+        if clockwise:
+            dist = (entry - record.node_id) & mask
+        else:
+            dist = (record.node_id - entry) & mask
+        if dist == prev_dist and i > 0:
+            out.append(Violation(
+                predicate, SEVERITY_ERROR, time_s, record.node_id,
+                f"duplicate {table} entry {entry:#x} at index {i}",
+                entries=ids,
+            ))
+        elif dist < prev_dist:
+            out.append(Violation(
+                predicate, SEVERITY_ERROR, time_s, record.node_id,
+                f"{table} list out of ring order at index {i} "
+                f"(entry {entry:#x})",
+                entries=ids,
+            ))
+        prev_dist = dist
+    return out
+
+
+def check_neighbor_lists(snap: RingSnapshot) -> List[Violation]:
+    """Structural NeighborList invariants for every node (``error``)."""
+    out: List[Violation] = []
+    for rec in snap.records:
+        out.extend(_list_violations(
+            rec, rec.successors, snap.mask, True, "successor-list",
+            snap.time_s,
+        ))
+        out.extend(_list_violations(
+            rec, rec.predecessors, snap.mask, False, "predecessor-list",
+            snap.time_s,
+        ))
+    return out
+
+
+def check_finger_ranges(
+    snap: RingSnapshot, severity: str = SEVERITY_TRANSIENT
+) -> List[Violation]:
+    """Chord finger-table range validity: entry ``k`` lies at or past
+    its target, i.e. ``distance(node, entry) >= distance(node, target)``.
+
+    Applies to plain Chord snapshots only — Verme's §4.4 corner rule
+    lets a displaced finger legally resolve *before* its target, so for
+    Verme the binding finger invariant is containment instead.  A stale
+    entry can violate this legitimately (the stored node was past the
+    target when looked up, but every node between target and origin has
+    since died and lookups wrapped) and finger repair replaces one entry
+    per round, so the severity stays ``transient`` even on final
+    evaluations; a self-entry is always hard corruption.
+    """
+    if snap.layout is not None:
+        return []
+    out: List[Violation] = []
+    for rec in snap.records:
+        for k, target, entry in rec.fingers:
+            if entry == rec.node_id:
+                out.append(Violation(
+                    "finger-range", SEVERITY_ERROR, snap.time_s, rec.node_id,
+                    f"finger {k} stores the node itself",
+                    entries=(entry,),
+                ))
+                continue
+            dist_entry = (entry - rec.node_id) & snap.mask
+            dist_target = (target - rec.node_id) & snap.mask
+            if dist_entry < dist_target:
+                out.append(Violation(
+                    "finger-range", severity, snap.time_s, rec.node_id,
+                    f"finger {k} entry {entry:#x} lies before its target "
+                    f"{target:#x}",
+                    entries=(entry,),
+                ))
+    return out
+
+
+def check_containment(snap: RingSnapshot) -> List[Violation]:
+    """Verme section-typing invariant over a snapshot.
+
+    Finger spills are ``error`` (the protocol refuses to store them);
+    successor/predecessor spills are ``conditional`` (the paper's
+    probabilistic sizing assumption — see the module docstring).
+    """
+    layout = snap.layout
+    if layout is None:
+        return []
+    out: List[Violation] = []
+    for rec in snap.records:
+        for cv in containment_violations(
+            layout,
+            rec.node_id,
+            rec.successors,
+            rec.predecessors,
+            (entry for _, _, entry in rec.fingers),
+        ):
+            severity = (
+                SEVERITY_ERROR if cv.table == "fingers"
+                else SEVERITY_CONDITIONAL
+            )
+            out.append(Violation(
+                "containment", severity, snap.time_s, cv.node_id,
+                f"same-type entry {cv.entry_id:#x} in foreign section "
+                f"{cv.entry_section} via {cv.table}",
+                entries=(cv.entry_id,),
+            ))
+    return out
+
+
+def _effective_successors(snap: RingSnapshot) -> Dict[int, Optional[int]]:
+    """First *alive* successor of every node (None = fully stranded)."""
+    members = snap.members
+    return {
+        rec.node_id: next(
+            (s for s in rec.successors if s in members and s != rec.node_id),
+            None,
+        )
+        for rec in snap.records
+    }
+
+
+def check_ring(
+    snap: RingSnapshot, severity: str = SEVERITY_TRANSIENT
+) -> List[Violation]:
+    """Zave's ring invariants over the first-alive-successor graph:
+    every node reaches a cycle, there is exactly one cycle, and it
+    traverses the id space exactly once (ordered ring)."""
+    if len(snap.records) <= 1:
+        return []
+    out: List[Violation] = []
+    eff = _effective_successors(snap)
+    for rec in snap.records:
+        if eff[rec.node_id] is None:
+            out.append(Violation(
+                "ring-stranded", severity, snap.time_s, rec.node_id,
+                "no alive entry in the successor list",
+                entries=rec.successors,
+            ))
+    # Functional-graph cycle detection (iterative colouring).
+    color: Dict[int, int] = {}  # 1 = on current path, 2 = finished
+    cycles: List[List[int]] = []
+    for start in eff:
+        if start in color:
+            continue
+        path: List[int] = []
+        cur: Optional[int] = start
+        while cur is not None and cur not in color:
+            color[cur] = 1
+            path.append(cur)
+            cur = eff[cur]
+        if cur is not None and color[cur] == 1:
+            cycles.append(path[path.index(cur):])
+        for n in path:
+            color[n] = 2
+    if len(cycles) > 1:
+        reps = tuple(sorted(min(c) for c in cycles))
+        out.append(Violation(
+            "ring-split", severity, snap.time_s, reps[0],
+            f"{len(cycles)} disjoint successor cycles "
+            f"(representatives {', '.join(f'{r:#x}' for r in reps)})",
+            entries=reps,
+        ))
+    for cycle in cycles:
+        if len(cycle) < 2:
+            continue
+        wraps = sum(
+            1 for a, b in zip(cycle, cycle[1:] + cycle[:1]) if b <= a
+        )
+        if wraps != 1:
+            out.append(Violation(
+                "ring-order", severity, snap.time_s, min(cycle),
+                f"successor cycle of {len(cycle)} nodes wraps the id "
+                f"space {wraps} times (expected once)",
+                entries=tuple(cycle[:8]),
+            ))
+    return out
+
+
+def check_predecessor_coherence(
+    snap: RingSnapshot, severity: str = SEVERITY_TRANSIENT
+) -> List[Violation]:
+    """Zave's pointer agreement: my first alive successor's first alive
+    predecessor is me.  Only meaningful near convergence, so the
+    checker runs it on final evaluations — but stabilization restores
+    it one walked-back node per round (appendage states persist long
+    after a heal), so violations stay ``transient``."""
+    if len(snap.records) <= 1:
+        return []
+    members = snap.members
+    by_id = {rec.node_id: rec for rec in snap.records}
+    eff = _effective_successors(snap)
+    out: List[Violation] = []
+    for rec in snap.records:
+        succ = eff[rec.node_id]
+        if succ is None:
+            continue  # already a ring-stranded violation
+        pred_of_succ = next(
+            (
+                p for p in by_id[succ].predecessors
+                if p in members and p != succ
+            ),
+            None,
+        )
+        if pred_of_succ != rec.node_id:
+            have = (
+                f"{pred_of_succ:#x}" if pred_of_succ is not None else "none"
+            )
+            out.append(Violation(
+                "pred-coherence", severity, snap.time_s, rec.node_id,
+                f"successor {succ:#x} thinks its predecessor is {have}",
+                entries=(succ,) + by_id[succ].predecessors,
+            ))
+    return out
+
+
+def evaluate(
+    snap: RingSnapshot,
+    *,
+    final: bool = False,
+    cell: str = "",
+    seed: Optional[int] = None,
+) -> List[Violation]:
+    """Run every predicate over one snapshot.
+
+    ``final=True`` marks an end-of-run evaluation: the inductive ring
+    invariants (single cycle, everyone connected, ordered traversal)
+    have had time to restore and report as ``error``; the eventual
+    pointer ideals (finger ranges, predecessor coherence) are evaluated
+    but stay ``transient`` (see the module docstring).
+    """
+    ring_severity = SEVERITY_ERROR if final else SEVERITY_TRANSIENT
+    found: List[Violation] = []
+    found.extend(check_neighbor_lists(snap))
+    found.extend(check_finger_ranges(snap))
+    found.extend(check_containment(snap))
+    found.extend(check_ring(snap, ring_severity))
+    if final:
+        found.extend(check_predecessor_coherence(snap))
+    if cell or seed is not None:
+        from dataclasses import replace
+
+        found = [replace(v, cell=cell, seed=seed) for v in found]
+    return found

@@ -1,0 +1,88 @@
+"""Plain-data snapshots of live overlay routing state.
+
+The invariant predicates (:mod:`repro.invariants.predicates`) never
+touch protocol nodes directly: a :class:`RingSnapshot` captures the
+routing ids of every alive node in one pass — via
+:meth:`~repro.chord.node.ChordNode.routing_state`, which reads the
+internal entry lists without copying per-entry objects — and the
+predicates then run over integers only.  That keeps checking cheap,
+keeps the checker decoupled from node internals, and makes snapshots
+trivially constructible by hand in tests (corrupt a record, assert the
+predicate fires).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+from ..ids.sections import VermeIdLayout
+
+
+@dataclass(frozen=True)
+class NodeRecord:
+    """One node's routing ids at capture time.
+
+    ``fingers`` holds ``(k, target_id, entry_id)`` triples sorted by
+    ``k`` — the target is what :meth:`finger_target` computed for the
+    node (Chord power-of-two or Verme displaced), the entry is the id
+    the table currently stores for it.
+    """
+
+    node_id: int
+    successors: Tuple[int, ...]
+    predecessors: Tuple[int, ...]
+    fingers: Tuple[Tuple[int, int, int], ...]
+
+
+class RingSnapshot:
+    """Routing state of a whole population at one sim instant."""
+
+    __slots__ = ("bits", "mask", "time_s", "records", "members", "layout")
+
+    def __init__(
+        self,
+        bits: int,
+        time_s: float,
+        records: Sequence[NodeRecord],
+        layout: Optional[VermeIdLayout] = None,
+    ) -> None:
+        self.bits = bits
+        self.mask = (1 << bits) - 1
+        self.time_s = time_s
+        self.records: Tuple[NodeRecord, ...] = tuple(records)
+        self.members: FrozenSet[int] = frozenset(
+            r.node_id for r in self.records
+        )
+        self.layout = layout
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @classmethod
+    def capture(
+        cls,
+        nodes: Sequence,
+        now: float = 0.0,
+        layout: Optional[VermeIdLayout] = None,
+    ) -> "RingSnapshot":
+        """Snapshot every alive node in ``nodes``.
+
+        ``layout`` defaults to the first node's ``layout`` attribute
+        (present on Verme nodes, absent on plain Chord), so callers can
+        pass a mixed source like ``population.nodes`` untouched.
+        """
+        alive = [n for n in nodes if n.alive]
+        if not alive:
+            return cls(1, now, (), layout)
+        first = alive[0]
+        if layout is None:
+            layout = getattr(first, "layout", None)
+        records = []
+        for node in alive:
+            succs, preds, fingers = node.routing_state()
+            records.append(
+                NodeRecord(node.node_id, succs, preds, tuple(sorted(fingers)))
+            )
+        records.sort(key=lambda r: r.node_id)
+        return cls(first.space.bits, now, records, layout)

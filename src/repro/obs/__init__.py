@@ -93,12 +93,19 @@ class ObsState:
     ``None`` (that instrument is off) or the live instrument object.
     """
 
-    __slots__ = ("metrics", "trace", "profile")
+    __slots__ = ("metrics", "trace", "profile", "invariants")
 
     def __init__(self) -> None:
         self.metrics: Optional[MetricsRegistry] = None
         self.trace: Optional[TraceRecorder] = None
         self.profile: Optional[PhaseProfiler] = None
+        #: The online invariant checker
+        #: (:class:`repro.invariants.InvariantChecker`), installed
+        #: explicitly by callers — e.g. ``runner.py --invariants`` —
+        #: rather than by :func:`enable`, which manages only the three
+        #: observability instruments.  Same contract: ``None`` = off,
+        #: hot-path hooks pay one attribute load + ``is not None``.
+        self.invariants: Optional[Any] = None
 
 
 #: The one global observability state; hot paths read its attributes
@@ -112,6 +119,7 @@ def enabled() -> bool:
         OBS.metrics is not None
         or OBS.trace is not None
         or OBS.profile is not None
+        or OBS.invariants is not None
     )
 
 
@@ -127,10 +135,12 @@ def enable(
 
 
 def disable() -> None:
-    """Turn every instrument off (the zero-cost default)."""
+    """Turn every instrument (and the invariant checker) off — the
+    zero-cost default."""
     OBS.metrics = None
     OBS.trace = None
     OBS.profile = None
+    OBS.invariants = None
 
 
 @contextmanager

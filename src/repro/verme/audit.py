@@ -3,34 +3,35 @@
 Verme's guarantee is conditional (paper §4.3): successor lists must not
 span more than two sections, which holds "with high probability" when
 sections are sized against the successor-list length.  This module
-makes the condition checkable: given live nodes or a static snapshot it
-reports every routing entry that would let a worm jump between
-same-type islands, and provides the sizing rule an operator should
-apply when picking the number of sections.
+makes the condition checkable and provides the sizing rule an operator
+should apply when picking the number of sections.
+
+The invariant itself has exactly one implementation —
+:func:`repro.invariants.predicates.containment_violations`, shared with
+the online checker (``runner.py ... --invariants``) — and
+:func:`audit_node_state` / :func:`audit_overlay` are kept as the thin
+public wrappers historical callers use.  See ``docs/correctness.md``
+for how the audit composes with the rest of the invariant suite.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Iterable, List, Sequence
 
 from ..ids.sections import VermeIdLayout
+from ..invariants.predicates import (
+    ContainmentViolation,
+    containment_violations,
+)
 
-
-@dataclass(frozen=True)
-class ContainmentViolation:
-    """One same-type routing entry that crosses a section boundary."""
-
-    node_id: int
-    entry_id: int
-    table: str  # "successors" | "predecessors" | "fingers"
-
-    def __str__(self) -> str:
-        return (
-            f"{self.node_id:#x} -> {self.entry_id:#x} "
-            f"(same type, different section, via {self.table})"
-        )
+__all__ = [
+    "ContainmentViolation",
+    "audit_node_state",
+    "audit_overlay",
+    "max_safe_neighbor_list",
+    "min_safe_sections",
+]
 
 
 def audit_node_state(
@@ -41,20 +42,9 @@ def audit_node_state(
     fingers: Iterable[int],
 ) -> List[ContainmentViolation]:
     """Violations in one node's routing state (ids only)."""
-    out: List[ContainmentViolation] = []
-    for table, ids in (
-        ("successors", successors),
-        ("predecessors", predecessors),
-        ("fingers", fingers),
-    ):
-        for entry in ids:
-            if entry == node_id:
-                continue
-            if layout.same_type(entry, node_id) and not layout.same_section(
-                entry, node_id
-            ):
-                out.append(ContainmentViolation(node_id, entry, table))
-    return out
+    return containment_violations(
+        layout, node_id, successors, predecessors, fingers
+    )
 
 
 def audit_overlay(nodes: Sequence) -> List[ContainmentViolation]:
@@ -62,7 +52,7 @@ def audit_overlay(nodes: Sequence) -> List[ContainmentViolation]:
     violations: List[ContainmentViolation] = []
     for node in nodes:
         violations.extend(
-            audit_node_state(
+            containment_violations(
                 node.layout,
                 node.node_id,
                 (e.node_id for e in node.successors),

@@ -58,3 +58,66 @@ def test_fig5_smoke(monkeypatch, capsys):
     out = capsys.readouterr().out
     assert "chord-transitive" in out
     assert "verme" in out
+
+
+def _tiny_resilience(monkeypatch):
+    from repro.experiments.resilience import ResilienceConfig
+
+    original = ResilienceConfig
+
+    def tiny(**kwargs):
+        kwargs.setdefault("num_nodes", 24)
+        kwargs.setdefault("partition_start_s", 120.0)
+        kwargs.setdefault("partition_heal_s", 150.0)
+        kwargs.setdefault("duration_s", 300.0)
+        kwargs.setdefault("warmup_s", 30.0)
+        return original(**kwargs)
+
+    monkeypatch.setattr(runner_mod, "ResilienceConfig", tiny)
+
+
+def test_invariants_flag_rejected_for_unsupported_figures():
+    with pytest.raises(SystemExit):
+        main(["fig8", "--invariants", "strict"])
+
+
+def test_resilience_strict_invariants_smoke(
+    monkeypatch, capsys, tmp_path
+):
+    """A clean partition-and-heal run exits 0 in strict mode and writes
+    the JSON violation report."""
+    _tiny_resilience(monkeypatch)
+    monkeypatch.chdir(tmp_path)
+    assert main(["resilience", "--invariants", "strict", "--seed", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "invariants:" in out
+    assert "0 errors" in out
+    report_path = tmp_path / "invariants_resilience.json"
+    assert report_path.exists()
+    import json
+
+    report = json.loads(report_path.read_text())
+    assert report["schema"] == "repro.invariants/1"
+    assert report["seed"] == 5
+    assert report["checks"] > 0
+
+
+def test_invariants_cleared_from_obs_after_run(monkeypatch, tmp_path):
+    from repro.obs import OBS
+
+    _tiny_resilience(monkeypatch)
+    monkeypatch.chdir(tmp_path)
+    main(["resilience", "--invariants", "sample"])
+    assert OBS.invariants is None
+
+
+def test_repro_command_line_includes_seed_and_strict_mode():
+    import argparse
+
+    args = argparse.Namespace(
+        figure="resilience", paper_scale=False, preset=None, seed=7
+    )
+    line = runner_mod._repro_command(args)
+    assert "repro.experiments.runner resilience" in line
+    assert "--seed 7" in line
+    assert "--invariants strict" in line

@@ -1,0 +1,62 @@
+"""The small-N interleaving stress harness (tier-1, tiny scale).
+
+These runs are the real thing — live protocol joins, crashes and
+stabilization with strict invariant checking after every step — just
+short enough for the suite.  CI's ``invariant-smoke`` job runs the
+bigger walks.
+"""
+
+import pytest
+
+from repro.invariants import (
+    StressConfig,
+    StressResult,
+    run_interleavings,
+    run_stress,
+)
+from repro.invariants.harness import main as harness_main
+
+
+def test_stress_config_validation():
+    with pytest.raises(ValueError):
+        StressConfig(system="pastry")
+    with pytest.raises(ValueError):
+        StressConfig(num_nodes=2, min_alive=4)
+
+
+def test_random_walk_chord_stays_clean():
+    result = run_stress(StressConfig(system="chord", steps=6, seed=11))
+    assert isinstance(result, StressResult)
+    assert result.steps == 6
+    assert result.checks >= 7  # one per step + the final evaluation
+    result.assert_clean()
+
+
+def test_random_walk_verme_stays_clean():
+    result = run_stress(StressConfig(system="verme", steps=6, seed=11))
+    result.assert_clean()
+
+
+def test_random_walk_is_deterministic():
+    config = StressConfig(system="chord", steps=5, seed=3)
+    a = run_stress(config)
+    b = run_stress(config)
+    assert a.checks == b.checks
+    assert [str(v) for v in a.violations] == [str(v) for v in b.violations]
+
+
+def test_exhaustive_interleavings_chord():
+    config = StressConfig(system="chord", depth=2, seed=1)
+    result = run_interleavings(config, ops=("crash", "join", "settle"))
+    assert result.sequences == 9  # 3^2
+    result.assert_clean()
+
+
+def test_harness_cli_smoke(capsys):
+    exit_code = harness_main(
+        ["--system", "chord", "--steps", "4", "--seed", "2"]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "chord random: 1 sequence(s), 4 steps" in out
+    assert "0 errors" in out

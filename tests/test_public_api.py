@@ -31,6 +31,9 @@ def test_all_names_resolve():
         "repro.unstructured",
         "repro.analysis",
         "repro.experiments",
+        "repro.faults",
+        "repro.obs",
+        "repro.invariants",
     ],
 )
 def test_subpackage_all_exports_resolve(module):
