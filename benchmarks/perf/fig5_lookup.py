@@ -15,11 +15,20 @@ Presets:
   ``KingCoordinates`` model (exercised in CI at smoke scale).
 * ``10k`` — 10,000 nodes, 10 simulated minutes, ``KingCoordinates``
   (a dense matrix would need ~800 MB); writes ``BENCH_fig5_10k.json``.
+* ``100k`` — 100,000 nodes, 1 simulated minute, on the columnar
+  flat-array engine (the object graph runs this workload more than 5x
+  slower); writes ``BENCH_fig5_100k.json``.
+
+``--engine`` overrides the preset's engine; both engines produce
+bit-identical metrics and event counts on the same preset (asserted in
+CI via ``scripts/compare_bench.py --assert-equal``), so engine records
+differ only in wall clock.
 
 Usage::
 
     python benchmarks/perf/fig5_lookup.py                  # preset 120 (~5 s)
     python benchmarks/perf/fig5_lookup.py --preset 10k     # ~minutes
+    python benchmarks/perf/fig5_lookup.py --preset 100k    # ~minutes, columnar
     python benchmarks/perf/fig5_lookup.py --smoke          # CI scale (~2 s)
 """
 
@@ -43,11 +52,13 @@ MEAN_LIFETIME_S = 1800.0
 #: scripts/compare_bench.py accepts old-vs-new comparisons.
 PRESETS = {
     "120": {"nodes": 120, "duration": 1800.0, "latency_model": "king-matrix",
-            "name": "fig5"},
+            "name": "fig5", "engine": "object"},
     "1k": {"nodes": 1000, "duration": 600.0, "latency_model": "king-coords",
-           "name": "fig5_1k"},
+           "name": "fig5_1k", "engine": "object"},
     "10k": {"nodes": 10000, "duration": 600.0, "latency_model": "king-coords",
-            "name": "fig5_10k"},
+            "name": "fig5_10k", "engine": "object"},
+    "100k": {"nodes": 100000, "duration": 60.0, "latency_model": "king-coords",
+             "name": "fig5_100k", "engine": "columnar", "warmup": 5.0},
 }
 
 
@@ -59,6 +70,9 @@ def main(argv=None) -> int:
                         help="override the preset's node count")
     parser.add_argument("--duration", type=float, default=None,
                         help="override the preset's simulated seconds")
+    parser.add_argument("--engine", choices=("object", "columnar"), default=None,
+                        help="override the preset's engine (metrics and "
+                             "event counts are bit-identical either way)")
     parser.add_argument("--smoke", action="store_true",
                         help="40 nodes / 300 simulated seconds, for CI")
     parser.add_argument("--obs", action="store_true",
@@ -75,14 +89,21 @@ def main(argv=None) -> int:
     duration = args.duration if args.duration is not None else preset["duration"]
     latency_model = preset["latency_model"]
     name = preset["name"]
+    engine = args.engine if args.engine is not None else preset["engine"]
+    # Presets whose horizon is shorter than the default 120s warmup
+    # (the 1-minute 100k run) shrink it so the record measures lookups.
+    warmup = preset.get("warmup")
     if args.smoke:
         nodes, duration = 40, 300.0
 
+    overrides = {} if warmup is None else {"warmup_s": warmup}
     config = Fig5Config(
         num_nodes=nodes,
         duration_s=duration,
         seed=SEED,
         latency_model=latency_model,
+        engine=engine,
+        **overrides,
     )
     snapshot = None
     start = time.perf_counter()
@@ -105,6 +126,12 @@ def main(argv=None) -> int:
         # (compare_bench.py refuses to gate records whose parameters
         # differ), so only the new presets record the model choice.
         parameters["latency_model"] = latency_model
+    if engine != "object":
+        # Same reasoning: pre-columnar records carry no engine key, and
+        # a columnar record must not gate against an object baseline.
+        parameters["engine"] = engine
+    if warmup is not None:
+        parameters["warmup_s"] = warmup
     metrics = {
         "lookups": float(row.lookups),
         "mean_latency_s": row.mean_latency_s,

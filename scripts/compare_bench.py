@@ -9,6 +9,11 @@ Modes::
     # Schema check only (CI smoke): exit 2 on malformed records
     python scripts/compare_bench.py --check BENCH_kernel.json BENCH_fig5.json
 
+    # Engine-equivalence: exit 1 unless both records report identical
+    # simulation results (events + metrics; wall clock may differ)
+    python scripts/compare_bench.py --assert-equal \\
+        BENCH_fig5_1k.json BENCH_fig5_1k_columnar.json
+
 A regression is a drop in ``events_per_s`` or a rise in
 ``wall_clock_s`` beyond ``--threshold`` (default 0.15).  Records must
 share ``name`` and ``parameters`` — timings from different workloads
@@ -76,12 +81,39 @@ def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
     return regressions
 
 
+def assert_equal(a: dict, b: dict) -> list[str]:
+    """Return mismatch messages unless the records carry identical
+    simulation outcomes (bit-identical metrics and event counts).
+
+    This is the engine-equivalence gate: the same workload run on two
+    engines (e.g. the object node graph and the columnar flat-array
+    engine) must agree on everything but wall clock."""
+    if a["name"] != b["name"]:
+        raise ValueError(
+            f"records are different benchmarks: {a['name']!r} vs {b['name']!r}"
+        )
+    mismatches = []
+    if a["events"] != b["events"]:
+        mismatches.append(f"events: {a['events']:,} vs {b['events']:,}")
+    if a["seed"] != b["seed"]:
+        mismatches.append(f"seed: {a['seed']} vs {b['seed']}")
+    for key in sorted(set(a["metrics"]) | set(b["metrics"])):
+        left, right = a["metrics"].get(key), b["metrics"].get(key)
+        if left != right:
+            mismatches.append(f"metrics[{key}]: {left!r} vs {right!r}")
+    return mismatches
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("records", nargs="+",
                         help="baseline.json current.json, or files for --check")
     parser.add_argument("--check", action="store_true",
                         help="only validate record schemas, no comparison")
+    parser.add_argument("--assert-equal", action="store_true",
+                        help="require the two records to report identical "
+                             "simulation results (events and metrics); "
+                             "wall clock and parameters may differ")
     parser.add_argument("--threshold", type=float, default=0.15,
                         help="allowed relative regression (default 0.15)")
     args = parser.parse_args(argv)
@@ -102,6 +134,20 @@ def main(argv=None) -> int:
         print("error: comparison mode needs exactly two records "
               "(baseline, current)", file=sys.stderr)
         return 2
+    if args.assert_equal:
+        try:
+            mismatches = assert_equal(records[0], records[1])
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        name = records[0]["name"]
+        if mismatches:
+            for message in mismatches:
+                print(f"ENGINE MISMATCH [{name}] {message}")
+            return 1
+        print(f"ok: {name} records report identical simulation results "
+              f"({records[0]['events']:,} events)")
+        return 0
     try:
         regressions = compare(records[0], records[1], args.threshold)
     except ValueError as exc:

@@ -1,0 +1,1648 @@
+"""Flat-state live-protocol engine: fig5/6/7 at 100k+ live nodes.
+
+The object-graph :class:`~repro.chord.node.ChordNode` spends most of its
+time allocating: a ``Message``, an ``RpcContext``, a ``_Pending`` record,
+dict-shaped request params and reply payloads, and a couple of closures
+per routed message.  This module replays the *same* discrete-event
+schedule with none of that: node state lives in parallel per-row arrays
+(one row per node incarnation), routing entries are ``(node_id, row)``
+int pairs, request/reply payloads are tuples, and every protocol event
+is pushed straight into the kernel's heap as a raw ``(time, seq,
+callback, args)`` entry.
+
+Equivalence argument (tested bit-for-bit in
+``tests/test_fig567_columnar_equivalence.py``):
+
+* **Same kernel.**  There is no second scheduler: the engine pushes into
+  ``Simulator._queue`` and burns sequence numbers from
+  ``Simulator._next_seq`` at exactly the points the object engine
+  allocates them (RPC failure timer before message send, ack before GC
+  registration, reschedule after a periodic callback, ...).  Ordering
+  and tie-breaking are therefore identical by construction.
+* **Same randomness.**  Every ``random.Random`` draw (node ids, jitter,
+  churn lifetimes, workload keys) happens on the same named registry
+  stream, in the same order, as the object engine.
+* **Same bytes.**  Message sizes and accounting categories are computed
+  from the same constants at the same protocol points, including the
+  quirk that error results are always accounted under the default
+  ``"lookup"`` category.
+* **Elision of invisible events.**  The only events not physically
+  queued are (a) *cancelled-in-object* timers (never fire there either;
+  the engine burns their seq and counts a ``phantom`` when a queued
+  stand-in pops dead) and (b) *information-free* replies — per-hop acks,
+  notify/ping replies — whose delivery provably mutates nothing and
+  whose in-time arrival only cancels a failure timer.  Their bytes are
+  accounted normally and they are tallied in ``elided`` so
+  :meth:`ColumnarEngine.logical_events` reports the object engine's
+  exact event count.
+
+The bootstrap (successor/predecessor/finger fill for the initial
+converged ring) is vectorized with numpy — ids sorted once, finger
+owners for all nodes resolved with a single matrix ``searchsorted`` —
+and falls back to the scalar :mod:`repro.overlay.snapshot` algorithms
+for id spaces wider than 64 bits.
+"""
+
+from __future__ import annotations
+
+import gc
+import heapq
+import math
+from bisect import bisect_right
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.stats import LookupStats
+from ..ids.sections import VermeIdLayout
+from ..net.message import (
+    ADDR_BYTES,
+    CERT_BYTES,
+    ID_BYTES,
+    SEALED_OVERHEAD_BYTES,
+    entry_bytes,
+)
+from ..net.network import CAUSE_DEAD, Network
+from ..obs import OBS
+from ..sim import RngRegistry, Simulator
+from ..verme.fingers import verme_finger_target
+from .config import OverlayConfig
+from .lookup import LookupStyle
+from .rpc import MIN_RPC_BYTES
+from .state import NodeInfo
+
+try:  # numpy is part of the baked toolchain, but keep a scalar fallback
+    import numpy as np
+except Exception:  # pragma: no cover
+    np = None
+
+# Lookup styles / purposes as plain ints (comparisons on the routing
+# hot path; values mirror chord.lookup enums only by name).
+_REC = 0
+_TRANS = 1
+_STYLES = {LookupStyle.RECURSIVE: _REC, LookupStyle.TRANSITIVE: _TRANS}
+
+_P_JOIN = 0
+_P_FINGER = 1
+_P_DHT = 2
+
+# Initiator-side lookup kinds (what _ev_done dispatches on).
+_K_WORKLOAD = 0
+_K_JOIN = 1
+_K_REJOIN = 2
+_K_FINGER = 3
+_K_CB = 4
+
+# Maintenance RPC kinds.
+_M_STAB = 0  # get_neighbors from the stabilize loop (content reply)
+_M_PRED = 1  # get_neighbors from the predecessor probe (content reply)
+_M_PING = 2  # ping predecessor probe (info-free reply)
+_M_NOTIFY = 3  # notify (info-free reply)
+
+_NO_EXCLUDE: frozenset = frozenset()
+
+_WORST_CASE_BANDWIDTH = 1e4  # bytes/s; mirrors ChordNode._WORST_CASE_BANDWIDTH
+
+
+def _neg_distance(c):
+    return c[0]
+
+
+@contextmanager
+def frozen_gc():
+    """Run a simulation with the current heap frozen out of cyclic GC.
+
+    A built engine holds tens of millions of long-lived, effectively
+    acyclic objects (state arrays, routing entries, the pending-event
+    queue), and every generation-2 collection rescans them all: at 100k
+    rows the collector accounts for roughly half of wall time.
+    Freezing moves the built heap into the permanent generation and a
+    raised gen-0 threshold keeps the young-object churn of the event
+    loop from triggering collections every few hundred allocations.
+    The collector stays *enabled* — cycle garbage created during the
+    run is still reclaimed, just in larger batches — and thresholds and
+    the frozen heap are restored on exit, so tests that run many cells
+    in one process do not accumulate permanent objects.
+    """
+    gc.collect()
+    gc.freeze()
+    old = gc.get_threshold()
+    gc.set_threshold(500_000, 100, 100)
+    try:
+        yield
+    finally:
+        gc.set_threshold(*old)
+        gc.unfreeze()
+
+
+class _Lookup:
+    """Initiator-side pending lookup (mirrors node._PendingLookup)."""
+
+    __slots__ = (
+        "row",
+        "key",
+        "style",
+        "purpose",
+        "category",
+        "op_tag",
+        "meta",
+        "extra",
+        "started_at",
+        "first_hop",
+        "attempts",
+        "token",
+        "failed",
+        "kind",
+        "k",
+        "done_cb",
+    )
+
+
+class _Membership:
+    """What the invariant checker sees: a sized population exposing a
+    snapshot hook built from the engine's state arrays."""
+
+    def __init__(self, engine: "ColumnarEngine") -> None:
+        self._engine = engine
+
+    def __len__(self) -> int:
+        return len(self._engine.order)
+
+    def ring_snapshot(self, now: float):
+        return self._engine.ring_snapshot(now)
+
+
+class ColumnarEngine:
+    """Runs an entire Chord/Verme overlay out of per-row state arrays.
+
+    One instance replaces the per-node object graph (nodes, RPC layers,
+    timers, drivers).  Construction order mirrors the object path:
+    ``build`` (id draws + instant bootstrap + timer starts), then
+    ``start_churn``, then ``start_workload``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        config: OverlayConfig,
+        layout: Optional[VermeIdLayout] = None,
+    ) -> None:
+        if network.contended_uplinks:
+            raise ValueError("columnar engine does not support contended uplinks")
+        if network.loss_rate:
+            raise ValueError("columnar engine does not support message loss")
+        if network.fault_plan is not None:
+            raise ValueError("columnar engine does not support fault plans")
+        if config.rpc_max_retransmits:
+            raise ValueError("columnar engine does not support rpc retransmits")
+        self._sim = sim
+        self._net = network
+        self._config = config
+        self._layout = layout
+        self._verme = layout is not None
+
+        space = config.space
+        self._bits = space.bits
+        self._mask = space.mask
+        self._num_succ = config.num_successors
+        self._pred_limit = config.num_predecessors if self._verme else 1
+        self._stab_interval = config.stabilize_interval_s
+        self._fing_interval = config.finger_interval_s
+        self._rpc_to = config.rpc_timeout_s
+        self._lookup_to = config.lookup_timeout_s
+        self._retries = config.lookup_retries
+        self._max_hops = config.max_lookup_hops
+        self._gc_s = config.pending_route_gc_s
+        self._rejoin_delay = 2.0  # ChurnDriver default
+        self._entry_bytes = entry_bytes()
+        self._req_extra = CERT_BYTES if self._verme else 0
+        self._res_extra = SEALED_OVERHEAD_BYTES if self._verme else 0
+        self._fwd_base = MIN_RPC_BYTES + ID_BYTES + self._req_extra
+        if self._verme:
+            self._shift = layout.section_bits
+            self._tmask = layout.num_types - 1
+            self._num_sections = layout.num_sections
+            self._high_bits = layout.high_bits
+            self._section_bits = layout.section_bits
+
+        # Accounting dicts, bound once (Network.send inlines the same).
+        acct = network.accounting
+        self._acct_b = acct.bytes_by_category
+        self._acct_m = acct.messages_by_category
+        self._acct_o = acct.bytes_by_op
+
+        # Latency: matrix models get the same per-source row cache as
+        # Network.send; KingCoordinates shares the model's own pair
+        # memo (values are deterministic, so cached vs recomputed is
+        # bit-identical), with a size cap so a 100k-host run cannot
+        # grow the memo without bound.
+        model = network.latency_model
+        self._lat_row_fn = getattr(model, "row", None)
+        self._lat_rows: Optional[Dict[int, object]] = (
+            {} if self._lat_row_fn is not None else None
+        )
+        self._king = None
+        # Pair-latency memo bound: the steady working set is about
+        # peers-per-node (~succ + pred + log2 n fingers, both
+        # directions) times hosts — ~6M pairs at 100k nodes — and a cap
+        # below it causes periodic clear/recompute storms, so size for
+        # the 100k tier (~60 B/entry -> ~1 GiB ceiling).
+        self._king_cache_cap = 16_000_000
+        if self._lat_rows is None:
+            if hasattr(model, "_points") and hasattr(model, "_scale"):
+                self._king = (
+                    model._cache,
+                    model.num_hosts,
+                    model._points,
+                    model._out,
+                    model._in,
+                    model.floor_s,
+                    model._scale,
+                )
+            else:
+                self._lat_scalar = model.latency
+
+        # Bandwidth: the engine mirrors Network.send's uncontended
+        # path (delivery delay = latency + size / bandwidth when the
+        # pair's bandwidth is non-zero).  ``None`` when the network has
+        # no bandwidth model, so the fig5 hot path pays one attribute
+        # load + ``is None`` per send.
+        bw_model = network.bandwidth_model
+        self._bw = bw_model.bandwidth if bw_model is not None else None
+
+        # -- per-row (per node incarnation) state arrays ------------------
+        self.node_id: List[int] = []
+        self.host: List[int] = []
+        self.inc: List[int] = []
+        self.alive = bytearray()
+        self.succs: List[List[tuple]] = []  # entries: (node_id, row)
+        self.sver: List[int] = []
+        self.preds: List[List[tuple]] = []
+        self.pver: List[int] = []
+        self.fingers: List[dict] = []  # {k: entry}, insertion-ordered
+        self.fver: List[int] = []
+        self.rejoin: List[List[int]] = []  # bootstrap contact rows
+        self.rejoin_next: List[int] = []
+        self.tok: List[int] = []  # per-row token counters
+        self.lookups: List[dict] = []  # {token: _Lookup}
+        self.forwards: List[dict] = []  # {token: (upstream_row, params)}
+        self.jitter: List[object] = []
+        # Routing-candidate cache (mirrors the object node's bisect cache).
+        self.cand_keys: List[Optional[list]] = []
+        self.cand_infos: List[Optional[list]] = []
+        self.cand_fver: List[int] = []
+        self.cand_sver: List[int] = []
+
+        self.order: List[int] = []  # population rows, insertion order
+        self._used_ids: set = set()
+        self._rngs: Optional[RngRegistry] = None
+        self._id_rng = None
+
+        # churn / workload
+        self._churn_rng = None
+        self._mean_lifetime = 0.0
+        self.deaths = 0
+        self.joins = 0
+        self.failed_joins = 0
+        self._wl_rng = None
+        self._wl_style = _REC
+        self._wl_interval = 30.0
+        self._stats: Optional[LookupStats] = None
+
+        # logical event bookkeeping
+        self.elided = 0  # invisible replies that would fire <= horizon
+        self.phantom = 0  # queued stand-ins for object-cancelled events
+        self._future_elided: List[float] = []  # beyond-horizon reply times
+
+        # Route-GC calendar: the constant gc delay makes expirations
+        # FIFO, so instead of one heap event per accepted forward we
+        # keep (expire, seq, row, token) in a deque and chain a single
+        # sweep event through it, re-using each entry's burned seq so
+        # (time, seq) of any GC event that actually fires matches the
+        # object kernel exactly.
+        self._gc_queue: deque = deque()
+        self._gc_armed = False
+
+        # Verme finger-target memo for terminal verification: the 64
+        # targets of an initiator id, computed once per row on demand.
+        self._ftargets: Dict[int, frozenset] = {}
+
+        self.population = _Membership(self)
+
+    # -- small helpers ------------------------------------------------------
+
+    def _latency(self, a: int, b: int) -> float:
+        rows = self._lat_rows
+        if rows is not None:
+            try:
+                return rows[a][b]
+            except KeyError:
+                return rows.setdefault(a, self._lat_row_fn(a))[b]
+        king = self._king
+        if king is None:
+            return self._lat_scalar(a, b)
+        if a == b:
+            return 0.0
+        cache, num_hosts, points, out, incoming, floor_s, scale = king
+        key = a * num_hosts + b
+        value = cache.get(key)
+        if value is not None:
+            return value
+        pa = points[a]
+        pb = points[b]
+        total = 0.0
+        for i in range(len(pa)):
+            d = pa[i] - pb[i]
+            total += d * d
+        one_way = math.sqrt(total) * out[a] * incoming[b]
+        if one_way < floor_s:
+            one_way = floor_s
+        value = one_way * scale
+        if len(cache) >= self._king_cache_cap:
+            cache.clear()
+        cache[key] = value
+        return value
+
+    def _delay(self, a: int, b: int, size: int) -> float:
+        """Delivery delay with a bandwidth model: Network.send's
+        uncontended ``latency + size / bandwidth`` (zero-bandwidth
+        pairs fall back to pure latency, as there)."""
+        lat = self._latency(a, b)
+        bw = self._bw(a, b)
+        if bw:
+            lat = lat + size / bw
+        return lat
+
+    def _push(self, delay: float, cb, args) -> None:
+        sim = self._sim
+        seq = sim._next_seq
+        sim._next_seq = seq + 1
+        heapq.heappush(sim._queue, (sim._now + delay, seq, cb, args))
+        sim._live += 1
+
+    def info_of(self, row: int) -> NodeInfo:
+        from ..net.addressing import NodeAddress
+
+        return NodeInfo(self.node_id[row], NodeAddress(self.host[row], self.inc[row]))
+
+    def logical_events(self, upto: float) -> int:
+        """The object engine's ``sim.events_processed`` for this run:
+        kernel events, plus elided replies due by ``upto``, minus queued
+        stand-ins for events the object engine cancelled."""
+        fut = self._future_elided
+        while fut and fut[0] <= upto:
+            heapq.heappop(fut)
+            self.elided += 1
+        return self._sim._events_processed + self.elided - self.phantom
+
+    # -- build: id draws, bootstrap, timer starts ---------------------------
+
+    def _create_row(self, host: int, inc: int) -> int:
+        rngs = self._rngs
+        idrng = self._id_rng
+        used = self._used_ids
+        if self._verme:
+            node_type = host % 2  # VermeNodeFactory.type_for_host
+            layout = self._layout
+            while True:
+                nid = layout.random_id(idrng, node_type)
+                if nid not in used:
+                    used.add(nid)
+                    break
+        else:
+            bits = self._bits
+            while True:
+                nid = idrng.getrandbits(bits)
+                if nid not in used:
+                    used.add(nid)
+                    break
+        row = len(self.node_id)
+        self.node_id.append(nid)
+        self.host.append(host)
+        self.inc.append(inc)
+        self.alive.append(0)
+        self.succs.append([])
+        self.sver.append(0)
+        self.preds.append([])
+        self.pver.append(0)
+        self.fingers.append({})
+        self.fver.append(0)
+        self.rejoin.append([])
+        self.rejoin_next.append(0)
+        self.tok.append(0)
+        self.lookups.append({})
+        self.forwards.append({})
+        self.jitter.append(rngs.stream(f"jitter-{host}-{inc}"))
+        self.cand_keys.append(None)
+        self.cand_infos.append(None)
+        self.cand_fver.append(-1)
+        self.cand_sver.append(-1)
+        return row
+
+    def build(self, num_nodes: int, rngs: RngRegistry) -> None:
+        """Create the initial population: same id stream, same jitter
+        streams, same converged routing state, same timer start seqs as
+        ``build_ring`` + ``instant_bootstrap``."""
+        self._rngs = rngs
+        self._id_rng = rngs.stream("node-ids")
+        for slot in range(num_nodes):
+            self._create_row(slot, 0)
+        self._instant_bootstrap(num_nodes)
+        # start_static per node, in creation order: stabilize timer then
+        # finger timer, each with one jitter draw (PeriodicTimer.start).
+        cb_stab = self._ev_stab
+        cb_fing = self._ev_fing
+        for row in range(num_nodes):
+            self.alive[row] = 1
+            jr = self.jitter[row]
+            self._push(self._stab_interval * jr.random(), cb_stab, (row,))
+            self._push(self._fing_interval * jr.random(), cb_fing, (row,))
+            self.order.append(row)
+
+    def _instant_bootstrap(self, n: int) -> None:
+        ids = self.node_id
+        order = sorted(range(n), key=ids.__getitem__)
+        sorted_ids = [ids[r] for r in order]
+        entries_sorted = [(ids[r], r) for r in order]
+        cs = min(self._num_succ, n - 1)
+        cp = min(self._pred_limit, n - 1)
+        for i, row in enumerate(order):
+            succ = [entries_sorted[(i + 1 + j) % n] for j in range(cs)]
+            pred = [entries_sorted[(i - 1 - j) % n] for j in range(cp)]
+            self.succs[row] = succ
+            self.sver[row] = 1 if succ else 0
+            self.preds[row] = pred
+            self.pver[row] = 1 if pred else 0
+        if np is not None and self._bits <= 64 and n > 1:
+            self._bootstrap_fingers_numpy(order, sorted_ids, entries_sorted)
+        else:
+            self._bootstrap_fingers_scalar(order, sorted_ids, entries_sorted)
+        for row in range(n):
+            self.fver[row] = len(self.fingers[row])
+
+    def _bootstrap_fingers_scalar(self, order, sorted_ids, entries_sorted) -> None:
+        from bisect import bisect_left
+
+        n = len(order)
+        mask = self._mask
+        bits = self._bits
+        verme = self._verme
+        layout = self._layout
+        shift = self._shift if verme else 0
+        for i, row in enumerate(order):
+            own = sorted_ids[i]
+            span = (sorted_ids[(i + 1) % n] - own) & mask
+            fdict = self.fingers[row]
+            for k in range(span.bit_length(), bits):
+                if verme:
+                    target = verme_finger_target(layout, own, k)
+                else:
+                    target = (own + (1 << k)) & mask
+                j = bisect_left(sorted_ids, target)
+                oi = j % n
+                if verme and (sorted_ids[oi] >> shift) != (target >> shift):
+                    oi = (j - 1) % n
+                owner = entries_sorted[oi]
+                if owner[0] == own:
+                    continue
+                if verme:
+                    oid = owner[0]
+                    if (oid >> shift) != (own >> shift) and (
+                        (oid >> shift) & self._tmask
+                    ) == ((own >> shift) & self._tmask):
+                        continue  # same-type foreign section: disallowed
+                fdict[k] = owner
+
+    def _bootstrap_fingers_numpy(self, order, sorted_ids, entries_sorted) -> None:
+        """All finger owners in one matrix searchsorted (ISSUE tentpole
+        kernel); validated against the scalar path in the test suite."""
+        n = len(order)
+        bits = self._bits
+        ids_u = np.array(sorted_ids, dtype=np.uint64)
+        spans = (np.roll(ids_u, -1) - ids_u).astype(np.uint64)
+        if bits < 64:
+            spans &= np.uint64(self._mask)
+        kmin = int(spans.min()).bit_length()
+        if kmin >= bits:
+            return
+        ks = np.arange(kmin, bits, dtype=np.uint64)
+        steps = (np.uint64(1) << ks).astype(np.uint64)
+        raw = ids_u[:, None] + steps[None, :]
+        if bits < 64:
+            raw &= np.uint64(self._mask)
+        if self._verme:
+            shift = np.uint64(self._shift)
+            own_sec = ids_u >> shift
+            raw_sec = raw >> shift
+            next_sec = (own_sec + np.uint64(1)) % np.uint64(self._num_sections)
+            tmask = np.uint64(self._tmask)
+            keep = (raw_sec == own_sec[:, None]) | (raw_sec == next_sec[:, None])
+            same_type = (raw_sec & tmask) == (own_sec[:, None] & tmask)
+            displaced = raw + np.uint64(1 << self._section_bits)
+            if bits < 64:
+                displaced &= np.uint64(self._mask)
+            targets = np.where(keep | ~same_type, raw, displaced)
+        else:
+            targets = raw
+        j = np.searchsorted(ids_u, targets.ravel(), side="left").reshape(targets.shape)
+        oi = j % n
+        if self._verme:
+            shift = np.uint64(self._shift)
+            owner_sec = ids_u[oi] >> shift
+            target_sec = targets >> shift
+            oi = np.where(owner_sec == target_sec, oi, (j - 1) % n)
+        owner_ids = ids_u[oi]
+        active = steps[None, :] > spans[:, None]
+        ok = active & (owner_ids != ids_u[:, None])
+        if self._verme:
+            shift = np.uint64(self._shift)
+            tmask = np.uint64(self._tmask)
+            osec = owner_ids >> shift
+            nsec = (ids_u >> shift)[:, None]
+            allowed = (osec == nsec) | ((osec & tmask) != (nsec & tmask))
+            ok &= allowed
+        oi_l = oi.tolist()
+        ok_l = ok.tolist()
+        for i in range(n):
+            fdict = self.fingers[order[i]]
+            row_ok = ok_l[i]
+            row_oi = oi_l[i]
+            for jx in range(len(row_ok)):
+                if row_ok[jx]:
+                    fdict[kmin + jx] = entries_sorted[row_oi[jx]]
+
+    # -- drivers ------------------------------------------------------------
+
+    def start_churn(self, rng, mean_lifetime_s: float) -> None:
+        """Mirrors ChurnDriver.start: one lifetime draw + kill event per
+        alive node, in population order."""
+        self._churn_rng = rng
+        self._mean_lifetime = mean_lifetime_s
+        cb = self._ev_kill
+        for row in list(self.order):
+            self._push(rng.expovariate(1.0 / mean_lifetime_s), cb, (row,))
+
+    def start_workload(
+        self,
+        rng,
+        style: LookupStyle,
+        mean_interval_s: float,
+        stats: LookupStats,
+        warmup_s: float,
+    ) -> None:
+        """Mirrors LookupWorkload.start (aggregate Poisson process)."""
+        self._wl_rng = rng
+        self._wl_style = _STYLES[style]
+        self._wl_interval = mean_interval_s
+        self._stats = stats
+        rate = max(1, len(self.order)) / mean_interval_s
+        self._push(max(warmup_s, rng.expovariate(rate)), self._ev_fire, ())
+
+    # -- periodic / driver events -------------------------------------------
+
+    def _ev_stab(self, row: int) -> None:
+        if not self.alive[row]:
+            self.phantom += 1  # object timer was stopped at crash
+            return
+        self._stabilize(row)
+        self._push(self._stab_interval, self._ev_stab, (row,))
+
+    def _ev_fing(self, row: int) -> None:
+        if not self.alive[row]:
+            self.phantom += 1
+            return
+        self._fix_fingers(row)
+        self._push(self._fing_interval, self._ev_fing, (row,))
+
+    def _ev_kill(self, row: int) -> None:
+        if not self.alive[row]:
+            return  # object _kill fires and returns (never cancelled)
+        self.order.remove(row)
+        # crash(): timers stop (their queued events pop as phantoms),
+        # pending lookups and forward state vanish, rpc shuts down.
+        self.alive[row] = 0
+        self.lookups[row] = {}
+        self.forwards[row] = {}
+        self.deaths += 1
+        inv = OBS.invariants
+        if inv is not None:
+            inv.note_membership(self._sim)
+        self._push(
+            self._rejoin_delay, self._ev_respawn, (self.host[row], self.inc[row] + 1)
+        )
+
+    def _ev_respawn(self, host: int, inc: int) -> None:
+        order = self.order
+        if not order:
+            self._push(self._rejoin_delay, self._ev_respawn, (host, inc))
+            return
+        boot = self._churn_rng.choice(order)
+        row = self._create_row(host, inc)
+        self.alive[row] = 1
+        self.rejoin[row] = [boot]
+        self._lookup(
+            row,
+            self.node_id[row],
+            _K_JOIN,
+            _P_JOIN,
+            "maintenance",
+            first_hop=boot,
+        )
+
+    def _ev_fire(self) -> None:
+        order = self.order
+        rng = self._wl_rng
+        if order:
+            row = rng.choice(order)
+            if self.alive[row]:
+                key = rng.getrandbits(self._bits)
+                self._lookup(
+                    row, key, _K_WORKLOAD, _P_DHT, "lookup", style=self._wl_style
+                )
+        rate = max(1, len(order)) / self._wl_interval
+        self._push(rng.expovariate(rate), self._ev_fire, ())
+
+    # -- stabilization ------------------------------------------------------
+
+    def _stabilize(self, row: int) -> None:
+        succs = self.succs[row]
+        if not succs:
+            preds = self.preds[row]
+            if preds:
+                self._merge_succ(row, [preds[0]])
+                return
+            contacts = [e[1] for e in self.fingers[row].values()]
+            for r in self.rejoin[row]:
+                if r not in contacts:
+                    contacts.append(r)
+            if contacts:
+                hop = contacts[self.rejoin_next[row] % len(contacts)]
+                self.rejoin_next[row] += 1
+                self._lookup(
+                    row,
+                    self.node_id[row],
+                    _K_REJOIN,
+                    _P_JOIN,
+                    "maintenance",
+                    first_hop=hop,
+                )
+            return
+        succ = succs[0]
+        self.rejoin[row] = [e[1] for e in succs]
+        self._call_info(row, succ, _M_STAB)
+        preds = self.preds[row]
+        if preds:
+            pred = preds[0]
+            self._call_info(row, pred, _M_PRED if self._pred_limit > 1 else _M_PING)
+
+    def _call_info(self, src_row: int, dst_entry: tuple, which: int) -> None:
+        """rpc.call for the info-carrying maintenance methods: burn the
+        failure-timer seq, account + send the request."""
+        sim = self._sim
+        seq = sim._next_seq  # timer seq (materialized only if needed)
+        sim._next_seq = seq + 2  # + request send seq
+        size = MIN_RPC_BYTES + self._entry_bytes if which == _M_NOTIFY else MIN_RPC_BYTES
+        self._acct_b["maintenance"] += size
+        self._acct_m["maintenance"] += 1
+        deadline = sim._now + self._rpc_to
+        t = sim._now + (
+            self._latency(self.host[src_row], self.host[dst_entry[1]])
+            if self._bw is None
+            else self._delay(self.host[src_row], self.host[dst_entry[1]], size)
+        )
+        heapq.heappush(
+            sim._queue,
+            (t, seq + 1, self._ev_req, (src_row, dst_entry, deadline, seq, which)),
+        )
+        sim._live += 1
+
+    def _ev_req(
+        self, src_row: int, dst_entry: tuple, deadline: float, timer_seq: int, which: int
+    ) -> None:
+        dst_row = dst_entry[1]
+        sim = self._sim
+        if not self.alive[dst_row]:
+            self._net._drop(CAUSE_DEAD)
+            heapq.heappush(
+                sim._queue, (deadline, timer_seq, self._ev_to_dead, (src_row, dst_entry))
+            )
+            sim._live += 1
+            return
+        if which == _M_NOTIFY:
+            cand = (self.node_id[src_row], src_row)
+            if cand[0] != self.node_id[dst_row]:
+                self._merge_pred(dst_row, (cand,))
+            self._reply_info_free(src_row, dst_row, deadline, timer_seq, dst_entry)
+            return
+        if which == _M_PING:
+            self._reply_info_free(src_row, dst_row, deadline, timer_seq, dst_entry)
+            return
+        # get_neighbors: content reply, always materialized; payload and
+        # size are snapshotted at respond time, as the object handler does.
+        succs = self.succs[dst_row]
+        preds = self.preds[dst_row]
+        size = MIN_RPC_BYTES + (len(succs) + len(preds)) * self._entry_bytes
+        seq = sim._next_seq
+        sim._next_seq = seq + 1
+        self._acct_b["maintenance"] += size
+        self._acct_m["maintenance"] += 1
+        t = sim._now + (
+            self._latency(self.host[dst_row], self.host[src_row])
+            if self._bw is None
+            else self._delay(self.host[dst_row], self.host[src_row], size)
+        )
+        payload = (preds[0] if preds else None, tuple(succs), tuple(preds))
+        late = not (t < deadline)
+        heapq.heappush(
+            sim._queue,
+            (t, seq, self._ev_gn_reply, (src_row, dst_entry, which, payload, late)),
+        )
+        sim._live += 1
+        if late:
+            heapq.heappush(
+                sim._queue, (deadline, timer_seq, self._ev_to_dead, (src_row, dst_entry))
+            )
+            sim._live += 1
+
+    def _reply_info_free(
+        self, src_row: int, dst_row: int, deadline: float, timer_seq: int, dst_entry: tuple
+    ) -> None:
+        """A reply that provably mutates nothing at the caller (ack of a
+        notify/ping).  In-time under a run horizon: elide it (and the
+        failure timer the object engine cancels).  Late: materialize both."""
+        sim = self._sim
+        seq = sim._next_seq
+        sim._next_seq = seq + 1
+        self._acct_b["maintenance"] += MIN_RPC_BYTES
+        self._acct_m["maintenance"] += 1
+        t = sim._now + (
+            self._latency(self.host[dst_row], self.host[src_row])
+            if self._bw is None
+            else self._delay(self.host[dst_row], self.host[src_row], MIN_RPC_BYTES)
+        )
+        if t < deadline:
+            h = sim._run_until
+            if h is None:
+                heapq.heappush(sim._queue, (t, seq, self._ev_noop, (src_row,)))
+                sim._live += 1
+            elif t <= h:
+                self.elided += 1
+            else:
+                heapq.heappush(self._future_elided, t)
+        else:
+            heapq.heappush(sim._queue, (t, seq, self._ev_noop, (src_row,)))
+            heapq.heappush(
+                sim._queue, (deadline, timer_seq, self._ev_to_dead, (src_row, dst_entry))
+            )
+            sim._live += 2
+
+    def _ev_noop(self, dst_row: int) -> None:
+        # A materialized info-free reply: delivery to a dead caller is a
+        # drop; to a live caller it only cancels the rpc failure timer.
+        if not self.alive[dst_row]:
+            self._net._drop(CAUSE_DEAD)
+
+    def _ev_to_dead(self, src_row: int, dst_entry: tuple) -> None:
+        # Maintenance rpc failure timer; on_error == _neighbor_dead(dst).
+        if not self.alive[src_row]:
+            self.phantom += 1  # rpc.shutdown cancelled it at crash
+            return
+        self._neighbor_dead(src_row, dst_entry[1])
+
+    def _ev_gn_reply(
+        self, src_row: int, dst_entry: tuple, which: int, payload: tuple, late: bool
+    ) -> None:
+        if not self.alive[src_row]:
+            self._net._drop(CAUSE_DEAD)
+            return
+        if late:
+            return  # rpc layer already timed the request out
+        if which == _M_STAB:
+            self._stabilize_reply(src_row, dst_entry, payload)
+        else:
+            self._pred_reply(src_row, dst_entry, payload)
+
+    def _stabilize_reply(self, row: int, succ_entry: tuple, payload: tuple) -> None:
+        pred0, succ_t, _pred_t = payload
+        candidates = [succ_entry]
+        candidates.extend(succ_t)
+        if pred0 is not None:
+            a = self.node_id[row]
+            b = succ_entry[0]
+            x = pred0[0]
+            mask = self._mask
+            if (x != a) if a == b else 0 < (x - a) & mask < (b - a) & mask:
+                candidates.append(pred0)
+        self._merge_succ(row, candidates)
+        succs = self.succs[row]
+        if succs:
+            self._call_info(row, succs[0], _M_NOTIFY)
+
+    def _pred_reply(self, row: int, pred_entry: tuple, payload: tuple) -> None:
+        _pred0, _succ_t, pred_t = payload
+        if pred_t:
+            candidates = [pred_entry]
+            candidates.extend(pred_t)
+            self._merge_pred(row, candidates)
+
+    # -- neighbor lists (mirrors chord.state.NeighborList) ------------------
+
+    def _merge_succ(self, row: int, candidates) -> None:
+        cur = self.succs[row]
+        own = self.node_id[row]
+        by_id = {e[0]: e for e in cur}
+        for e in candidates:
+            if e[0] != own:
+                by_id[e[0]] = e
+        mask = self._mask
+        new = sorted(by_id.values(), key=lambda e: (e[0] - own) & mask)[
+            : self._num_succ
+        ]
+        if new != cur:
+            self.succs[row] = new
+            self.sver[row] += 1
+
+    def _merge_pred(self, row: int, candidates) -> None:
+        cur = self.preds[row]
+        own = self.node_id[row]
+        by_id = {e[0]: e for e in cur}
+        for e in candidates:
+            if e[0] != own:
+                by_id[e[0]] = e
+        mask = self._mask
+        new = sorted(by_id.values(), key=lambda e: (own - e[0]) & mask)[
+            : self._pred_limit
+        ]
+        if new != cur:
+            self.preds[row] = new
+            self.pver[row] += 1
+
+    def _replace_succ(self, row: int, entries) -> None:
+        had = bool(self.succs[row])
+        self.succs[row] = []
+        self._merge_succ(row, entries)
+        if had and not self.succs[row]:
+            self.sver[row] += 1  # replace() bumps when non-empty -> empty
+
+    def _neighbor_dead(self, row: int, dead_row: int) -> None:
+        s = self.succs[row]
+        kept = [e for e in s if e[1] != dead_row]
+        if len(kept) != len(s):
+            self.succs[row] = kept
+            self.sver[row] += 1
+        p = self.preds[row]
+        kept = [e for e in p if e[1] != dead_row]
+        if len(kept) != len(p):
+            self.preds[row] = kept
+            self.pver[row] += 1
+        self._fingers_remove(row, dead_row)
+
+    def _fingers_remove(self, row: int, dead_row: int) -> None:
+        f = self.fingers[row]
+        dead = [k for k, e in f.items() if e[1] == dead_row]
+        if dead:
+            for k in dead:
+                del f[k]
+            self.fver[row] += 1
+
+    # -- fingers ------------------------------------------------------------
+
+    def _finger_target(self, own: int, k: int) -> int:
+        if self._verme:
+            return verme_finger_target(self._layout, own, k)
+        return (own + (1 << k)) & self._mask
+
+    def _fix_fingers(self, row: int) -> None:
+        succs = self.succs[row]
+        if not succs:
+            return
+        own = self.node_id[row]
+        span = (succs[0][0] - own) & self._mask
+        for k in range(span.bit_length(), self._bits):
+            self._lookup(
+                row,
+                self._finger_target(own, k),
+                _K_FINGER,
+                _P_FINGER,
+                "maintenance",
+                k=k,
+            )
+
+    def _finger_fixed(self, row: int, k: int, success: bool, entries) -> None:
+        if not self.alive[row]:
+            return
+        if success and entries:
+            e = entries[0]
+            if self._verme:
+                shift = self._shift
+                eid = e[0]
+                own = self.node_id[row]
+                if (eid >> shift) != (own >> shift) and (
+                    (eid >> shift) & self._tmask
+                ) == ((own >> shift) & self._tmask):
+                    return  # VermeNode._finger_fixed containment refusal
+            if e[0] != self.node_id[row]:
+                f = self.fingers[row]
+                if f.get(k) != e:
+                    f[k] = e
+                    self.fver[row] += 1
+
+    # -- lookup initiation ---------------------------------------------------
+
+    def _lookup(
+        self,
+        row: int,
+        key: int,
+        kind: int,
+        purpose: int,
+        category: str,
+        op_tag=None,
+        meta=None,
+        extra: int = 0,
+        first_hop: Optional[int] = None,
+        k: int = -1,
+        style: Optional[int] = None,
+        done_cb=None,
+    ) -> None:
+        sim = self._sim
+        st = _Lookup()
+        st.row = row
+        st.key = key
+        st.style = style if style is not None else _REC  # maintenance_style
+        st.purpose = purpose
+        st.category = category
+        st.op_tag = op_tag
+        st.meta = meta
+        st.extra = extra
+        st.started_at = sim._now
+        st.first_hop = first_hop
+        st.attempts = 0
+        st.token = None
+        st.failed = None
+        st.kind = kind
+        st.k = k
+        st.done_cb = done_cb
+        seq = sim._next_seq
+        sim._next_seq = seq + 1
+        heapq.heappush(
+            sim._queue, (sim._now + self._lookup_to, seq, self._ev_lt, (st,))
+        )
+        sim._live += 1
+        self._attempt(st)
+
+    def _ev_lt(self, st: _Lookup) -> None:
+        # Attempt timeout.  _finish and crash both cancel this in the
+        # object engine, so a stale pop is always a phantom.
+        row = st.row
+        if st.token is None or st.token not in self.lookups[row]:
+            self.phantom += 1
+            return
+        if st.attempts > self._retries:
+            self._finish(st, None, 0, "timeout", None)
+            return
+        sim = self._sim
+        seq = sim._next_seq
+        sim._next_seq = seq + 1
+        heapq.heappush(
+            sim._queue, (sim._now + self._lookup_to, seq, self._ev_lt, (st,))
+        )
+        sim._live += 1
+        self._attempt(st)
+
+    def _attempt(self, st: _Lookup) -> None:
+        row = st.row
+        if not self.alive[row]:
+            return
+        st.attempts += 1
+        lk = self.lookups[row]
+        if st.token is not None:
+            lk.pop(st.token, None)
+        c = self.tok[row]
+        self.tok[row] = c + 1
+        token = (row, c)
+        st.token = token
+        lk[token] = st
+        if st.first_hop is not None:
+            self._send_forward(st, token, st.first_hop, 1)
+            return
+        done, owner_self, nxt = self._route_next(row, st.key, st.failed or _NO_EXCLUDE)
+        if done:
+            self._complete_local(st, owner_self)
+            return
+        if nxt is None:
+            self._finish(st, None, 0, "no route", None)
+            return
+        self._send_forward(st, token, nxt[1], 1)
+
+    def _retry(self, st: _Lookup) -> None:
+        if st.attempts > self._retries:
+            self._finish(st, None, 0, "retries exhausted", None)
+            return
+        self._attempt(st)
+
+    def _complete_local(self, st: _Lookup, owner_self: bool) -> None:
+        row = st.row
+        err = self._verify_core(row, row, st.key, st.purpose, st.meta)
+        if err is not None:
+            self._finish(st, None, 0, err, None)
+            return
+        entries = self._entries_for_key(row, st.key, st.purpose, owner_self)
+        if st.purpose == _P_DHT and st.meta is not None:
+            hook = self._dht_hook(row)
+            if hook is not None:
+                self._hook_local(st, hook, entries)
+                return
+        self._finish(st, entries, 0, None, None)
+
+    def _finish(self, st, entries, hops, error, app_payload) -> None:
+        row = st.row
+        if st.token is not None:
+            self.lookups[row].pop(st.token, None)
+        success = error is None and entries is not None
+        sim = self._sim
+        latency = sim._now - st.started_at
+        seq = sim._next_seq
+        sim._next_seq = seq + 1
+        heapq.heappush(
+            sim._queue,
+            (sim._now, seq, self._ev_done, (st, success, entries, latency, hops, error, app_payload)),
+        )
+        sim._live += 1
+
+    def _ev_done(self, st, success, entries, latency, hops, error, app_payload) -> None:
+        kind = st.kind
+        if kind == _K_WORKLOAD:
+            self._stats.record(success, latency, hops)
+        elif kind == _K_FINGER:
+            self._finger_fixed(st.row, st.k, success, entries)
+        elif kind == _K_JOIN:
+            self._join_done(st, success, entries)
+        elif kind == _K_REJOIN:
+            self._rejoin_done(st.row, success, entries)
+        else:
+            st.done_cb(st, success, entries, latency, hops, error, app_payload)
+
+    def _join_done(self, st, success, entries) -> None:
+        row = st.row
+        if not self.alive[row]:
+            return
+        if not success or not entries:
+            self.alive[row] = 0
+            self.failed_joins += 1
+            self._push(
+                self._rejoin_delay,
+                self._ev_respawn,
+                (self.host[row], self.inc[row] + 1),
+            )
+            return
+        self._replace_succ(row, entries)
+        jr = self.jitter[row]
+        self._push(self._stab_interval * jr.random(), self._ev_stab, (row,))
+        self._push(self._fing_interval * jr.random(), self._ev_fing, (row,))
+        self._stabilize(row)
+        self._fix_fingers(row)
+        # ChurnDriver._joined(ok=True)
+        self.joins += 1
+        self.order.append(row)
+        self._push(
+            self._churn_rng.expovariate(1.0 / self._mean_lifetime),
+            self._ev_kill,
+            (row,),
+        )
+        inv = OBS.invariants
+        if inv is not None:
+            inv.note_membership(self._sim)
+
+    def _rejoin_done(self, row: int, success: bool, entries) -> None:
+        if not self.alive[row] or self.succs[row]:
+            return
+        if success and entries:
+            own = self.node_id[row]
+            self._merge_succ(row, [e for e in entries if e[0] != own])
+
+    # -- routing core --------------------------------------------------------
+
+    def _route_next(self, row: int, key: int, exclude) -> Tuple[bool, bool, Optional[tuple]]:
+        succs = self.succs[row]
+        if not succs:
+            return (True, True, None)  # OWNER_SELF
+        succ = succs[0]
+        own = self.node_id[row]
+        mask = self._mask
+        succ_id = succ[0]
+        verme = self._verme
+        if own == succ_id or 0 < (key - own) & mask <= (succ_id - own) & mask:
+            if verme:
+                shift = self._shift
+                if (succ_id >> shift) == (key >> shift):
+                    return (True, False, None)  # OWNER_SUCC
+                return (True, True, None)  # corner rule: OWNER_SELF
+            return (True, False, None)
+        preds = self.preds[row]
+        if preds:
+            pred = preds[0]
+            pid = pred[0]
+            if pid == own or 0 < (key - pid) & mask <= (own - pid) & mask:
+                if verme:
+                    shift = self._shift
+                    if (own >> shift) == (key >> shift):
+                        return (True, True, None)
+                    if pred[1] not in exclude:
+                        return (False, False, pred)  # hand back one step
+                    # excluded: fall through to the candidate scan
+                else:
+                    return (True, True, None)
+        fver = self.fver[row]
+        sver = self.sver[row]
+        if fver != self.cand_fver[row] or sver != self.cand_sver[row]:
+            cands = []
+            for e in self.fingers[row].values():
+                dc = (e[0] - own) & mask
+                if dc:
+                    cands.append((-dc, e))
+            for e in succs:
+                dc = (e[0] - own) & mask
+                if dc:
+                    cands.append((-dc, e))
+            cands.sort(key=_neg_distance)
+            keys = [c[0] for c in cands]
+            infos = [c[1] for c in cands]
+            self.cand_keys[row] = keys
+            self.cand_infos[row] = infos
+            self.cand_fver[row] = fver
+            self.cand_sver[row] = sver
+        else:
+            keys = self.cand_keys[row]
+            infos = self.cand_infos[row]
+        dk = (key - own) & mask if key != own else mask + 1
+        i = bisect_right(keys, -dk)
+        best = None
+        if exclude:
+            for j in range(i, len(infos)):
+                e = infos[j]
+                if e[1] not in exclude:
+                    best = e
+                    break
+        elif i < len(infos):
+            best = infos[i]
+        if best is None:
+            if succ[1] not in exclude:
+                best = succ
+            else:
+                return (False, False, None)  # NO_ROUTE
+        return (False, False, best)
+
+    def _entries_for_key(self, row: int, key: int, purpose: int, owner_self: bool):
+        if self._verme and purpose == _P_DHT:
+            shift = self._shift
+            section = key >> shift
+            own = self.node_id[row]
+            if owner_self:
+                if (own >> shift) != section:
+                    return [(own, row)]
+                group = [(own, row)]
+                for p in self.preds[row]:
+                    if (p[0] >> shift) == section:
+                        group.append(p)
+            else:
+                group = [s for s in self.succs[row] if (s[0] >> shift) == section]
+                if not group:
+                    group = self.succs[row][:1]
+            return group[: self._num_succ]
+        if owner_self:
+            entries = [(self.node_id[row], row)]
+            entries.extend(self.succs[row])
+        else:
+            entries = list(self.succs[row])
+        return entries[: self._num_succ]
+
+    def _verify_core(self, term_row: int, init_row: int, key: int, purpose: int, meta):
+        if not self._verme:
+            return None
+        cert_id = self.node_id[init_row]
+        if purpose == _P_JOIN:
+            if cert_id != key:
+                return "join lookup for a foreign id"
+            return None
+        if purpose == _P_FINGER:
+            targets = self._ftargets.get(init_row)
+            if targets is None:
+                layout = self._layout
+                targets = frozenset(
+                    verme_finger_target(layout, cert_id, k) for k in range(self._bits)
+                )
+                self._ftargets[init_row] = targets
+            if key not in targets:
+                return "key is not a finger target of the certified id"
+            return None
+        verifier = self._dht_verifier(term_row)
+        if verifier is not None:
+            return verifier(init_row, key, meta)
+        return None
+
+    # Hook points the fig6/7 facade layer overrides.
+    def _dht_hook(self, row: int):
+        return None
+
+    def _dht_verifier(self, row: int):
+        return None
+
+    def _hook_local(self, st, hook, entries) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _hook_terminal(self, row, params, upstream, hook, entries, category, op_tag):
+        raise NotImplementedError  # pragma: no cover
+
+    # -- forwarding ----------------------------------------------------------
+
+    def _send_forward(self, st: _Lookup, token: tuple, dst_row: int, hops: int) -> None:
+        row = st.row
+        params = (
+            st.key,
+            token,
+            st.style,
+            st.purpose,
+            hops,
+            st.meta,
+            st.extra,
+            row if st.style == _TRANS else None,  # origin
+            row,  # initiator (certificate bearer)
+        )
+        extra = st.extra
+        size = self._fwd_base + extra
+        if params[7] is not None:
+            size += ADDR_BYTES
+        if extra:
+            timeout = self._rpc_to + extra / _WORST_CASE_BANDWIDTH
+        else:
+            timeout = self._rpc_to
+        sim = self._sim
+        seq = sim._next_seq  # rpc failure timer seq
+        sim._next_seq = seq + 2  # + send seq
+        category = st.category
+        op_tag = st.op_tag
+        self._acct_b[category] += size
+        self._acct_m[category] += 1
+        if op_tag is not None:
+            self._acct_o[op_tag] += size
+        deadline = sim._now + timeout
+        t = sim._now + (
+            self._latency(self.host[row], self.host[dst_row])
+            if self._bw is None
+            else self._delay(self.host[row], self.host[dst_row], size)
+        )
+        heapq.heappush(
+            sim._queue,
+            (
+                t,
+                seq + 1,
+                self._ev_fwd,
+                (dst_row, row, params, deadline, seq, 0, st, category, op_tag),
+            ),
+        )
+        sim._live += 1
+
+    def _ev_fwd(
+        self,
+        dst_row: int,
+        src_row: int,
+        params: tuple,
+        deadline: float,
+        timer_seq: int,
+        errk: int,
+        errctx,
+        category: str,
+        op_tag,
+    ) -> None:
+        sim = self._sim
+        if not self.alive[dst_row]:
+            self._net._drop(CAUSE_DEAD)
+            heapq.heappush(
+                sim._queue,
+                (
+                    deadline,
+                    timer_seq,
+                    self._ev_fwd_to,
+                    (src_row, dst_row, errk, errctx, category, op_tag),
+                ),
+            )
+            sim._live += 1
+            return
+        # Per-hop ack: info-free reply (rpc ack carries no information).
+        seq = sim._next_seq
+        sim._next_seq = seq + 1
+        self._acct_b[category] += MIN_RPC_BYTES
+        self._acct_m[category] += 1
+        if op_tag is not None:
+            self._acct_o[op_tag] += MIN_RPC_BYTES
+        t = sim._now + (
+            self._latency(self.host[dst_row], self.host[src_row])
+            if self._bw is None
+            else self._delay(self.host[dst_row], self.host[src_row], MIN_RPC_BYTES)
+        )
+        if t < deadline:
+            h = sim._run_until
+            if h is None:
+                heapq.heappush(sim._queue, (t, seq, self._ev_noop, (src_row,)))
+                sim._live += 1
+            elif t <= h:
+                self.elided += 1
+            else:
+                heapq.heappush(self._future_elided, t)
+        else:
+            heapq.heappush(sim._queue, (t, seq, self._ev_noop, (src_row,)))
+            heapq.heappush(
+                sim._queue,
+                (
+                    deadline,
+                    timer_seq,
+                    self._ev_fwd_to,
+                    (src_row, dst_row, errk, errctx, category, op_tag),
+                ),
+            )
+            sim._live += 2
+        hops = params[4]
+        if hops > self._max_hops:
+            self._send_result_back(
+                dst_row, params, src_row, False, None, "hop limit", None, 0, "lookup", None
+            )
+            return
+        if params[2] == _REC:
+            token = params[1]
+            fwd = self.forwards[dst_row]
+            if token in fwd:
+                return  # duplicate
+            gseq = sim._next_seq
+            sim._next_seq = gseq + 1
+            self._gc_queue.append((sim._now + self._gc_s, gseq, dst_row, token))
+            if not self._gc_armed:
+                self._gc_armed = True
+                heapq.heappush(
+                    sim._queue,
+                    (sim._now + self._gc_s, gseq, self._ev_gc_sweep, ()),
+                )
+                sim._live += 1
+            fwd[token] = (src_row, params)
+        self._continue_forward(dst_row, params, src_row, _NO_EXCLUDE, category, op_tag)
+
+    def _continue_forward(
+        self, row: int, params: tuple, upstream: int, exclude, category: str, op_tag
+    ) -> None:
+        done, owner_self, nxt = self._route_next(row, params[0], exclude)
+        if done:
+            self._terminate_route(row, params, upstream, owner_self, category, op_tag)
+            return
+        if nxt is None:
+            self._send_result_back(
+                row, params, upstream, False, None, "no route", None, 0, "lookup", None
+            )
+            return
+        fwd_params = (
+            params[0],
+            params[1],
+            params[2],
+            params[3],
+            params[4] + 1,
+            params[5],
+            params[6],
+            params[7],
+            params[8],
+        )
+        extra = params[6]
+        size = self._fwd_base + extra
+        if params[7] is not None:
+            size += ADDR_BYTES
+        if extra:
+            timeout = self._rpc_to + extra / _WORST_CASE_BANDWIDTH
+        else:
+            timeout = self._rpc_to
+        sim = self._sim
+        seq = sim._next_seq
+        sim._next_seq = seq + 2
+        self._acct_b[category] += size
+        self._acct_m[category] += 1
+        if op_tag is not None:
+            self._acct_o[op_tag] += size
+        deadline = sim._now + timeout
+        dst_row = nxt[1]
+        t = sim._now + (
+            self._latency(self.host[row], self.host[dst_row])
+            if self._bw is None
+            else self._delay(self.host[row], self.host[dst_row], size)
+        )
+        heapq.heappush(
+            sim._queue,
+            (
+                t,
+                seq + 1,
+                self._ev_fwd,
+                (
+                    dst_row,
+                    row,
+                    fwd_params,
+                    deadline,
+                    seq,
+                    1,
+                    (params, upstream, exclude),
+                    category,
+                    op_tag,
+                ),
+            ),
+        )
+        sim._live += 1
+
+    def _ev_fwd_to(
+        self, src_row: int, dead_row: int, errk: int, errctx, category: str, op_tag
+    ) -> None:
+        # A route_forward rpc failure timer fired.
+        if not self.alive[src_row]:
+            self.phantom += 1  # rpc.shutdown cancelled it at crash
+            return
+        if errk == 0:
+            st = errctx  # initiator's first hop: _first_hop_failed
+            if st.token is None or st.token not in self.lookups[src_row]:
+                return
+            self._neighbor_dead(src_row, dead_row)
+            if st.failed is None:
+                st.failed = set()
+            st.failed.add(dead_row)
+            self._retry(st)
+            return
+        params, upstream, exclude = errctx  # mid-route: _forward_hop_failed
+        self._neighbor_dead(src_row, dead_row)
+        exclude = set(exclude)
+        exclude.add(dead_row)
+        if len(exclude) > 4:
+            self._send_result_back(
+                src_row, params, upstream, False, None, "no route", None, 0, "lookup", None
+            )
+            return
+        self._continue_forward(src_row, params, upstream, exclude, category, op_tag)
+
+    def _ev_gc_sweep(self) -> None:
+        # Fires with the head entry's exact (expire, seq).  The head is
+        # either a leaked forward (object's GC event fires: pop it) or
+        # was cancelled after this sweep was armed (object's cancelled
+        # handle: this kernel event stands in, so count a phantom).
+        queue = self._gc_queue
+        _expire, _seq, row, token = queue.popleft()
+        if self.forwards[row].pop(token, None) is None:
+            self.phantom += 1
+        # Entries already cancelled *now* stay cancelled forever (tokens
+        # are never reused), so drop them without scheduling anything —
+        # the object kernel pops their cancelled handles silently.
+        forwards = self.forwards
+        while queue:
+            entry = queue[0]
+            if entry[3] in forwards[entry[2]]:
+                break
+            queue.popleft()
+        if queue:
+            entry = queue[0]
+            sim = self._sim
+            heapq.heappush(
+                sim._queue, (entry[0], entry[1], self._ev_gc_sweep, ())
+            )
+            sim._live += 1
+        else:
+            self._gc_armed = False
+
+    def _terminate_route(
+        self, row: int, params: tuple, upstream: int, owner_self: bool, category: str, op_tag
+    ) -> None:
+        key = params[0]
+        err = self._verify_core(row, params[8], key, params[3], params[5])
+        if err is not None:
+            self._send_result_back(
+                row, params, upstream, False, None, err, None, 0, "lookup", None
+            )
+            return
+        purpose = params[3]
+        entries = self._entries_for_key(row, key, purpose, owner_self)
+        meta = params[5]
+        if purpose == _P_DHT and meta is not None:
+            hook = self._dht_hook(row)
+            if hook is not None:
+                self._hook_terminal(row, params, upstream, hook, entries, category, op_tag)
+                return
+        self._send_result_back(
+            row, params, upstream, True, entries, None, None, 0, category, op_tag
+        )
+
+    def _send_result_back(
+        self,
+        row: int,
+        params: tuple,
+        upstream: int,
+        ok: bool,
+        entries,
+        error,
+        app_payload,
+        extra_bytes: int,
+        category: str,
+        op_tag,
+    ) -> None:
+        size = MIN_RPC_BYTES + extra_bytes
+        payload = None
+        if ok and entries is not None:
+            payload = entries  # sealing is representation-free here
+            size += len(entries) * self._entry_bytes + self._res_extra
+        rparams = (params[1], ok, payload, app_payload, error, params[4], size)
+        if params[2] == _TRANS:
+            dst = params[7]
+            if dst is None:
+                return
+        else:
+            dst = upstream
+        sim = self._sim
+        seq = sim._next_seq
+        sim._next_seq = seq + 1
+        self._acct_b[category] += size
+        self._acct_m[category] += 1
+        if op_tag is not None:
+            self._acct_o[op_tag] += size
+        t = sim._now + (
+            self._latency(self.host[row], self.host[dst])
+            if self._bw is None
+            else self._delay(self.host[row], self.host[dst], size)
+        )
+        heapq.heappush(sim._queue, (t, seq, self._ev_res, (dst, rparams, category, op_tag)))
+        sim._live += 1
+
+    def _ev_res(self, dst_row: int, rparams: tuple, category: str, op_tag) -> None:
+        if not self.alive[dst_row]:
+            self._net._drop(CAUSE_DEAD)
+            return
+        token = rparams[0]
+        st = self.lookups[dst_row].get(token)
+        if st is not None:
+            self._initiator_result(st, rparams)
+            return
+        fwd = self.forwards[dst_row].pop(token, None)
+        if fwd is None:
+            return  # stale / GC'ed
+        # relay upstream (the gc calendar entry is now stale)
+        upstream = fwd[0]
+        sim = self._sim
+        seq = sim._next_seq
+        sim._next_seq = seq + 1
+        size = rparams[6]
+        self._acct_b[category] += size
+        self._acct_m[category] += 1
+        if op_tag is not None:
+            self._acct_o[op_tag] += size
+        t = sim._now + (
+            self._latency(self.host[dst_row], self.host[upstream])
+            if self._bw is None
+            else self._delay(self.host[dst_row], self.host[upstream], size)
+        )
+        heapq.heappush(
+            sim._queue, (t, seq, self._ev_res, (upstream, rparams, category, op_tag))
+        )
+        sim._live += 1
+
+    def _initiator_result(self, st: _Lookup, rparams: tuple) -> None:
+        ok = rparams[1]
+        if not ok:
+            if st.attempts > self._retries:
+                self._finish(st, None, 0, rparams[4] or "failed", None)
+            else:
+                self._retry(st)
+            return
+        entries = list(rparams[2])
+        self._finish(st, entries, rparams[5], None, rparams[3])
+
+    # -- snapshots -----------------------------------------------------------
+
+    def ring_snapshot(self, now: float):
+        """A :class:`~repro.invariants.snapshot.RingSnapshot` built from
+        the state arrays (satellite: --invariants on both engines)."""
+        from ..invariants.snapshot import RingSnapshot
+
+        rows = [r for r in self.order]
+        rows.sort()
+        node_ids = []
+        succ_ids = []
+        pred_ids = []
+        finger_rows = []
+        for r in rows:
+            own = self.node_id[r]
+            node_ids.append(own)
+            succ_ids.append([e[0] for e in self.succs[r]])
+            pred_ids.append([e[0] for e in self.preds[r]])
+            finger_rows.append(
+                [
+                    (k, self._finger_target(own, k), e[0])
+                    for k, e in self.fingers[r].items()
+                ]
+            )
+        return RingSnapshot.from_arrays(
+            self._bits,
+            now,
+            node_ids,
+            succ_ids,
+            pred_ids,
+            finger_rows,
+            layout=self._layout,
+        )

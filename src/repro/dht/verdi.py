@@ -23,9 +23,12 @@ class VerDiNode(DhtNode):
     """Common VerDi machinery; the three variants subclass this."""
 
     def __init__(self, node: VermeNode, config: DhtConfig) -> None:
-        if not isinstance(node, VermeNode):
-            raise TypeError("VerDi requires a VermeNode")
-        self.layout = node.layout
+        # Duck-typed so the columnar engine's row adapters qualify: any
+        # node carrying a section layout (and Verme credentials) works.
+        layout = getattr(node, "layout", None)
+        if layout is None:
+            raise TypeError("VerDi requires a Verme node (with a section layout)")
+        self.layout = layout
         super().__init__(node, config)
 
     # -- replica placement ----------------------------------------------------------

@@ -35,6 +35,7 @@ from .builders import build_ring
 from .records import Fig5Row
 
 SYSTEMS = ("chord-transitive", "chord-recursive", "verme")
+ENGINES = ("object", "columnar")
 
 
 @dataclass(frozen=True)
@@ -60,6 +61,10 @@ class Fig5Config:
     #: behaviour) or ``"king-coords"`` (O(n)-state scalar model, the
     #: only feasible choice at >=10k nodes; see repro.net.king).
     latency_model: str = "king-matrix"
+    #: ``"object"`` (the reference per-node protocol graph) or
+    #: ``"columnar"`` (the flat-array engine of repro.chord.columnar;
+    #: bit-identical metrics, required at >=100k nodes).
+    engine: str = "object"
 
     def paper_scale(self) -> "Fig5Config":
         return replace(
@@ -101,6 +106,10 @@ def run_cell_instrumented(
     for the perf-regression harness's events/s metric."""
     if system not in SYSTEMS:
         raise ValueError(f"unknown system {system!r}")
+    if config.engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {config.engine!r} (available: {', '.join(ENGINES)})"
+        )
     # str hashing is per-process randomised; derive_seed is stable.
     from ..sim.rng import derive_seed
 
@@ -129,33 +138,52 @@ def run_cell_instrumented(
         layout = None
         if system == "verme":
             layout = VermeIdLayout.for_sections(overlay_cfg.space, config.num_sections)
-        ring = build_ring(sim, network, overlay_cfg, config.num_nodes, rngs, layout)
-
-        churn = ChurnDriver(
-            sim,
-            ring.population,
-            ring.factory,
-            rngs.stream("churn"),
-            mean_lifetime_s=mean_lifetime_s,
-        )
-        churn.start()
-
         style = (
             LookupStyle.TRANSITIVE
             if system == "chord-transitive"
             else LookupStyle.RECURSIVE
         )
         stats = LookupStats()
-        workload = LookupWorkload(
-            sim,
-            ring.population,
-            rngs.stream("workload"),
-            style=style,
-            mean_interval_s=config.mean_lookup_interval_s,
-            stats=stats,
-            warmup_s=config.warmup_s,
-        )
-        workload.start()
+        engine = None
+        if config.engine == "columnar":
+            from ..chord.columnar import ColumnarEngine
+
+            engine = ColumnarEngine(sim, network, overlay_cfg, layout)
+            engine.build(config.num_nodes, rngs)
+            engine.start_churn(rngs.stream("churn"), mean_lifetime_s)
+            engine.start_workload(
+                rngs.stream("workload"),
+                style,
+                config.mean_lookup_interval_s,
+                stats,
+                config.warmup_s,
+            )
+            population = engine.population
+        else:
+            ring = build_ring(
+                sim, network, overlay_cfg, config.num_nodes, rngs, layout
+            )
+
+            churn = ChurnDriver(
+                sim,
+                ring.population,
+                ring.factory,
+                rngs.stream("churn"),
+                mean_lifetime_s=mean_lifetime_s,
+            )
+            churn.start()
+
+            workload = LookupWorkload(
+                sim,
+                ring.population,
+                rngs.stream("workload"),
+                style=style,
+                mean_interval_s=config.mean_lookup_interval_s,
+                stats=stats,
+                warmup_s=config.warmup_s,
+            )
+            workload.start()
+            population = ring.population
 
         inv = OBS.invariants
         if inv is not None:
@@ -164,7 +192,7 @@ def run_cell_instrumented(
             # repairs is noise).
             inv.watch(
                 sim,
-                ring.population,
+                population,
                 layout=layout,
                 until=config.duration_s,
                 interval_s=max(
@@ -173,8 +201,19 @@ def run_cell_instrumented(
                 cell=f"fig5.{system}.lt{mean_lifetime_s:g}.r{run_index}",
             )
     with maybe_phase("fig5.run", sim):
-        sim.run(until=config.duration_s)
+        if engine is not None:
+            from ..chord.columnar import frozen_gc
 
+            with frozen_gc():
+                sim.run(until=config.duration_s)
+        else:
+            sim.run(until=config.duration_s)
+
+    events = (
+        engine.logical_events(config.duration_s)
+        if engine is not None
+        else sim.events_processed
+    )
     maintenance_bytes = network.accounting.category_bytes("maintenance")
     per_node_per_s = maintenance_bytes / (config.num_nodes * config.duration_s)
     latency_summary = stats.latency_summary()
@@ -197,13 +236,13 @@ def run_cell_instrumented(
         metrics.counter(prefix + ".lookups").inc(stats.total)
         metrics.counter(prefix + ".lookup_failures").inc(stats.failures)
         metrics.counter(prefix + ".maintenance_bytes").inc(maintenance_bytes)
-        metrics.counter(prefix + ".kernel_events").inc(sim.events_processed)
+        metrics.counter(prefix + ".kernel_events").inc(events)
         if stats.total:
             metrics.gauge(prefix + ".failure_rate").set(stats.failure_rate)
         if stats.successes:
             metrics.gauge(prefix + ".mean_latency_s").set(latency_summary.mean)
             metrics.gauge(prefix + ".mean_hops").set(hops_summary.mean)
-    return row, sim.events_processed
+    return row, events
 
 
 def run_fig5(

@@ -15,6 +15,12 @@ switches to the paper's §7 configurations (minutes to an hour), and
 else (fig5: ``120``/``1k``/``10k``; fig8: ``1k``/``100k``/``1m`` —
 the same scales the committed ``BENCH_*.json`` baselines use).
 
+``--engine NAME`` selects the simulation engine: ``object`` (default)
+or ``columnar`` for fig5/fig6/fig7 (the flat-array live-protocol
+engine of :mod:`repro.chord.columnar`; bit-identical metrics, required
+at >=100k nodes), and ``columnar`` (default) or ``legacy`` for fig8's
+worm engines.  Unknown names are rejected with the available list.
+
 ``--workers N`` fans the independent (system/scenario, seed) cells of
 fig5/fig6/fig7/fig8/ablations across N processes (see
 :mod:`repro.experiments.parallel`); the default of 1 runs everything
@@ -55,9 +61,9 @@ from pathlib import Path
 from ..analysis.export import write_rows_csv, write_series_csv
 from ..analysis.tables import format_table
 from ..obs import OBS, disable as obs_disable, enable as obs_enable
-from ..worm import ENGINES, WormScenarioConfig
+from ..worm import ENGINES as WORM_ENGINES, WormScenarioConfig
 from .dht_ops import DhtExperimentConfig
-from .fig5_lookup_latency import Fig5Config
+from .fig5_lookup_latency import ENGINES as OVERLAY_ENGINES, Fig5Config
 from .fig8_worm_propagation import Fig8Config, curve_series, summarise_fig8_runs
 from .parallel import (
     fig8_curves,
@@ -105,9 +111,27 @@ PRESETS = {
 }
 
 
+#: ``--engine`` tables: the simulation engines each figure can run on,
+#: first entry = default.  fig5/6/7 share the overlay engines (object
+#: node graph vs the columnar flat-array engine, bit-identical
+#: metrics); fig8 has its own pair of worm engines.
+ENGINE_CHOICES = {
+    "fig5": OVERLAY_ENGINES,
+    "fig6": OVERLAY_ENGINES,
+    "fig7": OVERLAY_ENGINES,
+    "fig8": ("columnar",) + tuple(e for e in sorted(WORM_ENGINES) if e != "columnar"),
+}
+
+
 def _apply_preset(args, cfg):
     if args.preset is not None:
         cfg = PRESETS[args.figure][args.preset](cfg)
+    return cfg
+
+
+def _apply_engine(args, cfg):
+    if args.engine is not None:
+        cfg = replace(cfg, engine=args.engine)
     return cfg
 
 
@@ -123,6 +147,7 @@ def _fig5(args) -> None:
         cfg = cfg.paper_scale()
     cfg = _apply_preset(args, cfg)
     cfg = _apply_seed(args, cfg)
+    cfg = _apply_engine(args, cfg)
     rows = run_fig5_parallel(cfg, workers=args.workers)
     if args.csv:
         print(f"wrote {write_rows_csv(Path(args.csv) / 'fig5.csv', rows)}")
@@ -140,6 +165,7 @@ def _fig67(args, which: str) -> None:
     if args.paper_scale:
         cfg = cfg.paper_scale()
     cfg = _apply_seed(args, cfg)
+    cfg = _apply_engine(args, cfg)
     results = run_dht_parallel(cfg, workers=args.workers)
     if args.csv:
         flat = [row for res in results for row in res.rows()]
@@ -172,7 +198,7 @@ def _fig8(args) -> None:
             cfg,
             scenario_config=replace(cfg.scenario_config, seed=args.seed),
         )
-    if args.engine != cfg.scenario_config.engine:
+    if args.engine is not None and args.engine != cfg.scenario_config.engine:
         cfg = replace(
             cfg,
             scenario_config=replace(cfg.scenario_config, engine=args.engine),
@@ -267,9 +293,11 @@ def main(argv=None) -> int:
                         help="also export the figure's data as CSV into DIR")
     parser.add_argument("--runs", type=int, default=2, help="fig8 repetitions")
     parser.add_argument(
-        "--engine", choices=sorted(ENGINES), default="columnar",
-        help="fig8 worm engine (identical curves; legacy = per-event "
-             "reference implementation)")
+        "--engine", metavar="NAME", default=None,
+        help="simulation engine (fig5/fig6/fig7: object, columnar; "
+             "fig8: columnar, legacy); both engines of a figure emit "
+             "bit-identical metrics, the default is the figure's "
+             "reference engine (fig8: columnar)")
     parser.add_argument(
         "--workers", type=int, default=1, metavar="N",
         help="processes for fig5/fig6/fig7/fig8/ablations cells (1 = "
@@ -308,6 +336,13 @@ def main(argv=None) -> int:
                          f"(choices: {', '.join(table)})")
         if args.paper_scale:
             parser.error("--preset and --paper-scale are mutually exclusive")
+    if args.engine is not None:
+        engines = ENGINE_CHOICES.get(args.figure)
+        if engines is None:
+            parser.error(f"--engine is not supported for {args.figure}")
+        if args.engine not in engines:
+            parser.error(f"unknown {args.figure} engine {args.engine!r} "
+                         f"(available: {', '.join(engines)})")
     if args.trace is not None and args.workers != 1:
         print("--trace is serial-only; forcing --workers 1", file=sys.stderr)
         args.workers = 1

@@ -106,6 +106,17 @@ class InvariantChecker:
         """Snapshot ``nodes`` and run every predicate; record and return
         the violations found."""
         snap = RingSnapshot.capture(nodes, now, layout=layout)
+        return self.check_snapshot(snap, final=final, cell=cell)
+
+    def check_snapshot(
+        self,
+        snap: RingSnapshot,
+        *,
+        final: bool = False,
+        cell: str = "",
+    ) -> List[Violation]:
+        """Run every predicate over an already-captured snapshot (the
+        columnar engine builds its own via ``RingSnapshot.from_arrays``)."""
         found = evaluate(snap, final=final, cell=cell, seed=self.seed)
         self.checks += 1
         self.violations.extend(found)
@@ -174,24 +185,27 @@ class InvariantChecker:
             self.churn_samples += 1
             self._sample(watch)
 
-    def _sample(self, watch: _Watch) -> None:
+    def _sample(self, watch: _Watch, final: bool = False) -> None:
         watch.last_sample_s = watch.sim.now
-        self.check_population(
-            watch.population.nodes,
-            watch.sim.now,
-            layout=watch.layout,
-            cell=watch.cell,
-        )
+        # Populations that can snapshot themselves (the columnar
+        # engine's flat state arrays) expose ``ring_snapshot``; object
+        # populations are captured node by node.
+        snapshot_hook = getattr(watch.population, "ring_snapshot", None)
+        if snapshot_hook is not None:
+            self.check_snapshot(
+                snapshot_hook(watch.sim.now), final=final, cell=watch.cell
+            )
+        else:
+            self.check_population(
+                watch.population.nodes,
+                watch.sim.now,
+                layout=watch.layout,
+                final=final,
+                cell=watch.cell,
+            )
 
     def _final(self, watch: _Watch) -> None:
-        watch.last_sample_s = watch.sim.now
-        self.check_population(
-            watch.population.nodes,
-            watch.sim.now,
-            layout=watch.layout,
-            final=True,
-            cell=watch.cell,
-        )
+        self._sample(watch, final=True)
         self._watches.pop(id(watch.sim), None)
 
     # -- results -----------------------------------------------------------

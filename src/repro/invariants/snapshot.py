@@ -86,3 +86,35 @@ class RingSnapshot:
             )
         records.sort(key=lambda r: r.node_id)
         return cls(first.space.bits, now, records, layout)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        bits: int,
+        now: float,
+        node_ids: Sequence[int],
+        successors: Sequence[Sequence[int]],
+        predecessors: Sequence[Sequence[int]],
+        fingers: Sequence[Sequence[Tuple[int, int, int]]],
+        layout: Optional[VermeIdLayout] = None,
+    ) -> "RingSnapshot":
+        """Snapshot from parallel per-node id arrays (the columnar
+        engine's state layout): row ``i`` of each sequence describes one
+        alive node — its id, successor/predecessor ids clockwise-nearest
+        first, and ``(k, target_id, entry_id)`` finger triples in any
+        order.  Produces exactly what :meth:`capture` would for the
+        equivalent object-graph population, so ``--invariants`` modes
+        behave identically on both engines."""
+        if not node_ids:
+            return cls(1, now, (), layout)
+        records = [
+            NodeRecord(
+                node_ids[i],
+                tuple(successors[i]),
+                tuple(predecessors[i]),
+                tuple(sorted(fingers[i])),
+            )
+            for i in range(len(node_ids))
+        ]
+        records.sort(key=lambda r: r.node_id)
+        return cls(bits, now, records, layout)

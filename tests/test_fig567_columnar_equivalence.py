@@ -1,0 +1,88 @@
+"""Columnar live-protocol engine vs the object node graph: fig5/6/7.
+
+The columnar engine (:mod:`repro.chord.columnar`) promises *bit-for-
+bit* identical figure metrics, not approximate ones: same RNG draws,
+same kernel sequence numbers, same float association order on every
+latency sum.  These tests hold it to that on seeded scaled-down
+workloads of every cell family:
+
+* fig5 — all three systems (recursive/transitive Chord, Verme), under
+  churn, on both latency models (the dense King matrix and the O(n)
+  coordinate model);
+* fig6/fig7 — all four DHT systems over the adapter bridge
+  (:mod:`repro.chord.columnar_dht`), where the data plane runs the
+  *real* RPC/network stack and only the overlay is columnar;
+* the kernel-event identity: ``logical_events`` must reproduce the
+  object engine's ``Simulator.events_processed`` exactly, elided
+  deliveries and all.
+
+The committed-golden counterpart (``tests/test_fig567_golden.py``)
+pins the object engine to historical records; together they pin the
+columnar engine to those same records by transitivity.
+"""
+
+from dataclasses import asdict, replace
+
+import pytest
+
+from repro.experiments.dht_ops import DhtExperimentConfig, run_dht_cell_instrumented
+from repro.experiments.fig5_lookup_latency import Fig5Config, run_cell_instrumented
+
+#: Small enough to keep the whole module in tens of seconds, large
+#: enough that every code path (retries, rejoins, finger repair,
+#: replica-group corner rules) actually fires.
+FIG5_CFG = Fig5Config(num_nodes=64, duration_s=300.0, warmup_s=60.0, seed=3)
+FIG5_LIFETIME_S = 600.0
+
+DHT_CFG = DhtExperimentConfig(num_nodes=60, num_puts=12, num_gets=12, seed=0)
+
+
+def _fig5_both(cfg, system):
+    obj_row, obj_events = run_cell_instrumented(
+        replace(cfg, engine="object"), system, FIG5_LIFETIME_S
+    )
+    col_row, col_events = run_cell_instrumented(
+        replace(cfg, engine="columnar"), system, FIG5_LIFETIME_S
+    )
+    return (asdict(obj_row), obj_events), (asdict(col_row), col_events)
+
+
+@pytest.mark.parametrize(
+    "system", ["chord-recursive", "chord-transitive", "verme"]
+)
+def test_fig5_bit_identical(system):
+    (obj_row, obj_events), (col_row, col_events) = _fig5_both(FIG5_CFG, system)
+    assert col_row == obj_row
+    assert col_events == obj_events
+
+
+def test_fig5_bit_identical_king_coords():
+    cfg = replace(FIG5_CFG, latency_model="king-coords")
+    (obj_row, obj_events), (col_row, col_events) = _fig5_both(cfg, "verme")
+    assert col_row == obj_row
+    assert col_events == obj_events
+
+
+@pytest.mark.parametrize(
+    "system", ["dhash", "fast-verdi", "secure-verdi", "compromise-verdi"]
+)
+def test_fig67_bit_identical(system):
+    obj_res, obj_events = run_dht_cell_instrumented(
+        replace(DHT_CFG, engine="object"), system
+    )
+    col_res, col_events = run_dht_cell_instrumented(
+        replace(DHT_CFG, engine="columnar"), system
+    )
+    assert [asdict(r) for r in col_res.rows()] == [
+        asdict(r) for r in obj_res.rows()
+    ]
+    assert col_events == obj_events
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError, match="unknown engine"):
+        run_cell_instrumented(
+            replace(FIG5_CFG, engine="vectorised"), "verme", FIG5_LIFETIME_S
+        )
+    with pytest.raises(ValueError, match="unknown engine"):
+        run_dht_cell_instrumented(replace(DHT_CFG, engine="vectorised"), "dhash")
