@@ -1,0 +1,114 @@
+"""Overload-serving benchmark (``BENCH_overload.json``).
+
+Both admission-policy arms of the overload experiment
+(:mod:`repro.experiments.overload`): a Zipf flash crowd against
+capacity-limited nodes, shed (token bucket + queue-depth admission)
+versus the unbounded no-shedding control.  The record's metrics block
+carries the serving-quality numbers the experiment exists to produce —
+p99/p999 tail latency and windowed goodput per policy — so the CI gate
+catches both wall-clock and serving-quality regressions.
+
+``--engine`` overrides the default object engine; both engines produce
+bit-identical metrics and event counts (asserted in CI via
+``scripts/compare_bench.py --assert-equal``), so engine records differ
+only in wall clock.
+
+Usage::
+
+    python benchmarks/perf/overload.py               # default scale (~15 s)
+    python benchmarks/perf/overload.py --smoke       # CI scale (~2 s)
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import replace
+
+import perf_common  # noqa: E402  (sets sys.path for the repro import)
+
+from repro.experiments.overload import (  # noqa: E402
+    POLICIES,
+    OverloadConfig,
+    run_overload_cell,
+    smoke_config,
+)
+
+SEED = 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=None,
+                        help="override the node count")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="override the simulated seconds")
+    parser.add_argument("--engine", choices=("object", "columnar"),
+                        default=None,
+                        help="override the engine (metrics and event "
+                             "counts are bit-identical either way)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="40 nodes / 240 simulated seconds, for CI")
+    parser.add_argument("--out", default=None,
+                        help="output path (default BENCH_overload.json "
+                             "at repo root)")
+    args = parser.parse_args(argv)
+    config = smoke_config() if args.smoke else OverloadConfig(seed=SEED)
+    if args.nodes is not None:
+        config = replace(config, num_nodes=args.nodes)
+    if args.duration is not None:
+        config = replace(config, duration_s=args.duration)
+    engine = args.engine if args.engine is not None else config.engine
+    config = replace(config, engine=engine)
+
+    rows = {}
+    events = 0
+    start = time.perf_counter()
+    for policy in POLICIES:
+        row, cell_events = run_overload_cell(config, policy)
+        rows[policy] = row
+        events += cell_events
+    wall = time.perf_counter() - start
+
+    parameters = {
+        "system": config.system,
+        "num_nodes": config.num_nodes,
+        "duration_s": config.duration_s,
+        "workload": config.workload,
+        "overload": config.overload,
+        "service_rate_per_s": config.service_rate_per_s,
+    }
+    if engine != "object":
+        # An engine record must not gate against an object baseline
+        # (compare_bench.py refuses records whose parameters differ).
+        parameters["engine"] = engine
+    metrics = {}
+    for policy, row in rows.items():
+        metrics[f"{policy}.lookups"] = float(row.lookups)
+        metrics[f"{policy}.successes"] = float(row.successes)
+        metrics[f"{policy}.shed_rate"] = float(row.shed_rate)
+        metrics[f"{policy}.shed_queue"] = float(row.shed_queue)
+        metrics[f"{policy}.p99_latency_s"] = row.p99_latency_s
+        metrics[f"{policy}.p999_latency_s"] = row.p999_latency_s
+        metrics[f"{policy}.goodput_pre_per_s"] = row.goodput_pre_per_s
+        metrics[f"{policy}.goodput_overload_per_s"] = row.goodput_overload_per_s
+        metrics[f"{policy}.goodput_post_per_s"] = row.goodput_post_per_s
+    record = perf_common.bench_record(
+        name="overload",
+        wall_clock_s=wall,
+        events=events,
+        seed=config.seed,
+        parameters=parameters,
+        metrics=metrics,
+    )
+    path = perf_common.write_record(record, args.out)
+    shed = rows["shed"]
+    print(f"overload {config.num_nodes} nodes x {config.duration_s:.0f}s sim "
+          f"x {len(POLICIES)} policies: {wall:.2f}s wall, {events:,} events "
+          f"({record['events_per_s']:,.0f}/s), shed p99 "
+          f"{shed.p99_latency_s:.2f}s -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

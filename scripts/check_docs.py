@@ -110,7 +110,7 @@ def tool_vocabulary() -> Dict[str, Set[str]]:
         "repro.invariants": _help_flags(harness.main, "invariants"),
     }
     for bench in ("fig5_lookup", "worm_propagation", "dht_ops",
-                  "kernel_throughput"):
+                  "kernel_throughput", "overload"):
         vocab[f"benchmarks/perf/{bench}.py"] = _help_flags(
             _load_bench(bench).main, bench
         )

@@ -1,0 +1,168 @@
+"""Per-node admission control and throttling for the live protocol.
+
+The simulator's latency model is pure network — without a server-side
+capacity model a flash crowd degrades nothing, so overload experiments
+would be vacuous.  This module adds the three pieces the serving layer
+needs (Phagocytes-style rate guards at the overlay ingress, see
+PAPERS.md):
+
+* a **service queue**: each admitted DHT forward occupies a virtual
+  single-server queue draining at ``service_rate_per_s``; processing is
+  delayed by the queue backlog, which is where overload latency comes
+  from;
+* **queue-depth shedding**: forwards arriving at a queue already
+  ``max_queue`` deep are rejected immediately (cause ``shed:queue``);
+* a **token bucket**: sustained rate above ``bucket_rate_per_s``
+  (burst ``bucket_burst``) is rejected immediately (cause
+  ``shed:rate``).
+
+A shed is a definitive rejection, not a timeout: the initiator fails
+the lookup fast instead of burning retries, which is exactly the
+backpressure that keeps goodput up during a spike.  Only DHT-purpose
+lookups are subject to admission — maintenance, join and finger
+traffic is control-plane and always passes (shedding repair traffic
+under load is how overlays collapse).  With ``ingress_only`` (the
+default) admission applies at the first forward hop only, so one
+lookup is either rejected at the door or served end-to-end; per-hop
+shedding would multiply a per-node drop rate across every hop of a
+multi-hop route and destroy goodput for everyone.
+
+All state advances on the sim clock, so runs stay deterministic and
+the object-graph and columnar engines shed the same requests at the
+same virtual times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..obs import OBS
+
+#: Shed-cause error strings (also the lookup failure ``error`` values).
+SHED_RATE = "shed:rate"
+SHED_QUEUE = "shed:queue"
+
+
+class TokenBucket:
+    """A token bucket on virtual time: ``rate_per_s`` refill, ``burst`` cap.
+
+    The bucket starts full, so a burst of up to ``burst`` requests
+    passes at t=0.  With ``burst`` 0 the bucket never holds a whole
+    token and every request is rejected (a closed valve).  Refill is
+    continuous: after exactly ``1/rate_per_s`` idle seconds one more
+    token is available (the exact-refill boundary admits).
+    """
+
+    __slots__ = ("rate_per_s", "burst", "tokens", "last")
+
+    def __init__(self, rate_per_s: float, burst: float, now: float = 0.0) -> None:
+        if rate_per_s < 0 or burst < 0:
+            raise ValueError("rate and burst must be non-negative")
+        self.rate_per_s = rate_per_s
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.last = now
+
+    def try_take(self, now: float) -> bool:
+        """Take one token at time ``now``; False when none is available."""
+        tokens = self.tokens + (now - self.last) * self.rate_per_s
+        if tokens > self.burst:
+            tokens = self.burst
+        self.last = now
+        if tokens >= 1.0:
+            self.tokens = tokens - 1.0
+            return True
+        self.tokens = tokens
+        return False
+
+
+@dataclass(frozen=True)
+class ServicePolicy:
+    """Per-node serving knobs (one policy object shared by all nodes).
+
+    ``service_rate_per_s`` is the node's DHT-forward capacity.
+    ``max_queue`` None disables queue shedding (unbounded backlog — the
+    no-shedding control); ``bucket_rate_per_s`` None disables the token
+    bucket.  ``ingress_only`` gates admission *and* queueing to the
+    first forward hop (see the module docstring).
+    """
+
+    service_rate_per_s: float
+    max_queue: Optional[int] = None
+    bucket_rate_per_s: Optional[float] = None
+    bucket_burst: float = 1.0
+    ingress_only: bool = True
+
+    def __post_init__(self) -> None:
+        if self.service_rate_per_s <= 0:
+            raise ValueError("service rate must be positive")
+        if self.max_queue is not None and self.max_queue < 0:
+            raise ValueError("max_queue must be non-negative")
+
+
+@dataclass
+class AdmissionStats:
+    """Cell-wide shed/accept counters (shared across transient nodes)."""
+
+    accepted: int = 0
+    shed_rate: int = 0
+    shed_queue: int = 0
+
+    @property
+    def shed(self) -> int:
+        """Total requests rejected, both causes."""
+        return self.shed_rate + self.shed_queue
+
+
+class NodeAdmission:
+    """One node's admission state: token bucket + virtual service queue."""
+
+    __slots__ = ("policy", "stats", "bucket", "queue_depth", "last_depart")
+
+    def __init__(self, policy: ServicePolicy, stats: AdmissionStats) -> None:
+        self.policy = policy
+        self.stats = stats
+        self.bucket = (
+            TokenBucket(policy.bucket_rate_per_s, policy.bucket_burst)
+            if policy.bucket_rate_per_s is not None
+            else None
+        )
+        self.queue_depth = 0
+        self.last_depart = 0.0
+
+    def admit(self, now: float):
+        """Admit one DHT forward at time ``now``.
+
+        Returns the queueing delay (a float >= 0) until the virtual
+        server processes the request, or a shed-cause string
+        (``shed:rate`` / ``shed:queue``) when the request is rejected.
+        The cause-tagged drop counters flow through ``repro.obs`` when
+        metrics collection is on.
+        """
+        policy = self.policy
+        if self.bucket is not None and not self.bucket.try_take(now):
+            self.stats.shed_rate += 1
+            metrics = OBS.metrics
+            if metrics is not None:
+                metrics.counter("admission.shed.rate").inc()
+            return SHED_RATE
+        if policy.max_queue is not None and self.queue_depth >= policy.max_queue:
+            self.stats.shed_queue += 1
+            metrics = OBS.metrics
+            if metrics is not None:
+                metrics.counter("admission.shed.queue").inc()
+            return SHED_QUEUE
+        start = self.last_depart if self.last_depart > now else now
+        depart = start + 1.0 / policy.service_rate_per_s
+        self.last_depart = depart
+        self.queue_depth += 1
+        self.stats.accepted += 1
+        metrics = OBS.metrics
+        if metrics is not None:
+            metrics.counter("admission.accepted").inc()
+        return depart - now
+
+    def release(self) -> None:
+        """One queued request reached its service time."""
+        self.queue_depth -= 1

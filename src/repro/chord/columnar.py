@@ -293,6 +293,9 @@ class ColumnarEngine:
         self.cand_infos: List[Optional[list]] = []
         self.cand_fver: List[int] = []
         self.cand_sver: List[int] = []
+        # Serving-layer admission state (repro.chord.admission), one
+        # slot per row; all-None = unlimited capacity, the paper's model.
+        self.adm: List = []
 
         self.order: List[int] = []  # population rows, insertion order
         self._used_ids: set = set()
@@ -309,6 +312,8 @@ class ColumnarEngine:
         self._wl_style = _REC
         self._wl_interval = 30.0
         self._stats: Optional[LookupStats] = None
+        self._wl_gen = None  # optional repro.workload.LookupGenerator
+        self._adm_factory = None  # per-row NodeAdmission factory
 
         # logical event bookkeeping
         self.elided = 0  # invisible replies that would fire <= horizon
@@ -438,6 +443,8 @@ class ColumnarEngine:
         self.cand_infos.append(None)
         self.cand_fver.append(-1)
         self.cand_sver.append(-1)
+        factory = self._adm_factory
+        self.adm.append(factory() if factory is not None else None)
         return row
 
     def build(self, num_nodes: int, rngs: RngRegistry) -> None:
@@ -583,6 +590,15 @@ class ColumnarEngine:
         for row in list(self.order):
             self._push(rng.expovariate(1.0 / mean_lifetime_s), cb, (row,))
 
+    def set_admission(self, factory) -> None:
+        """Install a per-node admission factory (call before build):
+        every row — initial population and churn respawns — gets its own
+        ``NodeAdmission`` from ``factory()``, mirroring the object
+        experiment wrapping its node factory."""
+        if self.node_id:
+            raise RuntimeError("set_admission must precede build()")
+        self._adm_factory = factory
+
     def start_workload(
         self,
         rng,
@@ -590,14 +606,20 @@ class ColumnarEngine:
         mean_interval_s: float,
         stats: LookupStats,
         warmup_s: float,
+        generator=None,
     ) -> None:
-        """Mirrors LookupWorkload.start (aggregate Poisson process)."""
+        """Mirrors LookupWorkload.start (aggregate Poisson process, or
+        the supplied ``repro.workload`` generator's keys and rates)."""
         self._wl_rng = rng
         self._wl_style = _STYLES[style]
         self._wl_interval = mean_interval_s
         self._stats = stats
-        rate = max(1, len(self.order)) / mean_interval_s
-        self._push(max(warmup_s, rng.expovariate(rate)), self._ev_fire, ())
+        self._wl_gen = generator
+        if generator is not None:
+            delay = generator.next_delay(rng, self._sim._now, len(self.order))
+        else:
+            delay = rng.expovariate(max(1, len(self.order)) / mean_interval_s)
+        self._push(max(warmup_s, delay), self._ev_fire, ())
 
     # -- periodic / driver events -------------------------------------------
 
@@ -651,17 +673,26 @@ class ColumnarEngine:
         )
 
     def _ev_fire(self) -> None:
+        # RNG draw order (choice, key, delay) must match
+        # LookupWorkload._fire / _next_delay exactly.
         order = self.order
         rng = self._wl_rng
+        gen = self._wl_gen
         if order:
             row = rng.choice(order)
             if self.alive[row]:
-                key = rng.getrandbits(self._bits)
+                if gen is not None:
+                    key = gen.draw_key(rng)
+                else:
+                    key = rng.getrandbits(self._bits)
                 self._lookup(
                     row, key, _K_WORKLOAD, _P_DHT, "lookup", style=self._wl_style
                 )
-        rate = max(1, len(order)) / self._wl_interval
-        self._push(rng.expovariate(rate), self._ev_fire, ())
+        if gen is not None:
+            delay = gen.next_delay(rng, self._sim._now, len(order))
+        else:
+            delay = rng.expovariate(max(1, len(order)) / self._wl_interval)
+        self._push(delay, self._ev_fire, ())
 
     # -- stabilization ------------------------------------------------------
 
@@ -1368,6 +1399,52 @@ class ColumnarEngine:
                 dst_row, params, src_row, False, None, "hop limit", None, 0, "lookup", None
             )
             return
+        adm = self.adm[dst_row]
+        if (
+            adm is not None
+            and params[3] == _P_DHT
+            and (hops == 1 or not adm.policy.ingress_only)
+        ):
+            verdict = adm.admit(sim._now)
+            if type(verdict) is str:  # shed cause
+                self._send_result_back(
+                    dst_row, params, src_row, False, None, verdict, None, 0,
+                    "lookup", None,
+                )
+                return
+            # Mirrors ChordNode._h_route_forward's sim.schedule of
+            # _process_forward: one kernel event, one burned seq.
+            self._push(
+                verdict, self._ev_fwd_proc, (dst_row, src_row, params, category, op_tag)
+            )
+            return
+        if params[2] == _REC:
+            token = params[1]
+            fwd = self.forwards[dst_row]
+            if token in fwd:
+                return  # duplicate
+            gseq = sim._next_seq
+            sim._next_seq = gseq + 1
+            self._gc_queue.append((sim._now + self._gc_s, gseq, dst_row, token))
+            if not self._gc_armed:
+                self._gc_armed = True
+                heapq.heappush(
+                    sim._queue,
+                    (sim._now + self._gc_s, gseq, self._ev_gc_sweep, ()),
+                )
+                sim._live += 1
+            fwd[token] = (src_row, params)
+        self._continue_forward(dst_row, params, src_row, _NO_EXCLUDE, category, op_tag)
+
+    def _ev_fwd_proc(
+        self, dst_row: int, src_row: int, params: tuple, category: str, op_tag
+    ) -> None:
+        """An admitted forward reached its virtual service time
+        (mirrors ChordNode._process_forward, seq for seq)."""
+        if not self.alive[dst_row]:
+            return
+        self.adm[dst_row].release()
+        sim = self._sim
         if params[2] == _REC:
             token = params[1]
             fwd = self.forwards[dst_row]
@@ -1605,6 +1682,12 @@ class ColumnarEngine:
     def _initiator_result(self, st: _Lookup, rparams: tuple) -> None:
         ok = rparams[1]
         if not ok:
+            error = rparams[4]
+            if error is not None and error.startswith("shed:"):
+                # Definitive rejection: fail fast, no retries (mirrors
+                # ChordNode._initiator_result's shed branch).
+                self._finish(st, None, 0, error, None)
+                return
             if st.attempts > self._retries:
                 self._finish(st, None, 0, rparams[4] or "failed", None)
             else:

@@ -154,6 +154,12 @@ class ChordNode:
         self._rejoin_next = 0
         self._token_counter = itertools.count()
         self.dht_lookup_hook: Optional[ResponsibleHook] = None
+        #: serving-layer admission control (repro.chord.admission);
+        #: None = unlimited capacity, the paper's model.
+        self.admission = None
+        #: callbacks fired when the failure detector purges a peer
+        #: (the DHT hot-key cache invalidates through this).
+        self._down_hooks: List = []
         self.lookups_started = 0
         self.lookups_failed = 0
         # Per-hop constants, computed once: the forward path consults
@@ -408,6 +414,8 @@ class ChordNode:
         self.successors.remove_address(info.address)
         self.predecessors.remove_address(info.address)
         self.fingers.remove_address(info.address)
+        for hook in self._down_hooks:
+            hook(info)
 
     # -- fingers ------------------------------------------------------------------
 
@@ -918,6 +926,23 @@ class ChordNode:
         if hops > self.config.max_lookup_hops:
             self._send_result_back(params, src, ok=False, error="hop limit")
             return
+        adm = self.admission
+        if (
+            adm is not None
+            and params["purpose"] is LookupPurpose.DHT
+            and (hops == 1 or not adm.policy.ingress_only)
+        ):
+            verdict = adm.admit(self.sim._now)
+            if type(verdict) is str:  # shed cause
+                self._send_result_back(params, src, ok=False, error=verdict)
+                return
+            # Admitted: processing happens when the virtual service
+            # queue reaches this request (one kernel event, mirrored
+            # seq-for-seq by the columnar engine).
+            self.sim.schedule(
+                verdict, self._process_forward, params, src, msg.category, msg.op_tag
+            )
+            return
         if style is LookupStyle.RECURSIVE:
             if token in self._forwards:
                 return  # duplicate
@@ -944,6 +969,44 @@ class ChordNode:
             fwd.gc_handle = gc_handle
             self._forwards[token] = fwd
         self._continue_forward(params, src, _NO_EXCLUDE, msg.category, msg.op_tag)
+
+    def _process_forward(
+        self,
+        params: dict,
+        src: NodeAddress,
+        category: str,
+        op_tag: Optional[int],
+    ) -> None:
+        """An admitted forward reached its service time: the deferred
+        second half of :meth:`_h_route_forward` (REC bookkeeping +
+        routing), after the admission queue delay."""
+        if not self._alive:
+            return
+        self.admission.release()
+        if params["style"] is LookupStyle.RECURSIVE:
+            token = params["token"]
+            if token in self._forwards:
+                return  # duplicate
+            sim = self.sim
+            fire_at = sim._now + self.config.pending_route_gc_s
+            gc_handle = EventHandle.__new__(EventHandle)
+            gc_handle.time = fire_at
+            gc_handle.callback = self._gc_forward
+            gc_handle.args = (token,)
+            gc_handle._cancelled = False
+            gc_handle._fired = False
+            gc_handle._sim = sim
+            seq = sim._next_seq
+            sim._next_seq = seq + 1
+            heapq.heappush(sim._queue, (fire_at, seq, gc_handle))
+            sim._live += 1
+            fwd = _ForwardState.__new__(_ForwardState)
+            fwd.upstream = src
+            fwd.exclude = _NO_EXCLUDE
+            fwd.params = params
+            fwd.gc_handle = gc_handle
+            self._forwards[token] = fwd
+        self._continue_forward(params, src, _NO_EXCLUDE, category, op_tag)
 
     def _continue_forward(
         self,
@@ -1102,6 +1165,12 @@ class ChordNode:
 
     def _initiator_result(self, state: _PendingLookup, params: dict) -> None:
         if not params.get("ok"):
+            error = params.get("error")
+            if error is not None and error.startswith("shed:"):
+                # Admission shed: a definitive rejection (backpressure),
+                # not a transient failure — fail fast, never retry.
+                self._finish(state, None, error=error)
+                return
             if state.attempts > self.config.lookup_retries:
                 self._finish(state, None, error=params.get("error") or "failed")
             else:

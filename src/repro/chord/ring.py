@@ -315,6 +315,7 @@ class LookupWorkload:
         stats: Optional[LookupStats] = None,
         warmup_s: float = 0.0,
         on_result: Optional[Callable[[LookupResult], None]] = None,
+        generator=None,
     ) -> None:
         self.sim = sim
         self.population = population
@@ -324,6 +325,10 @@ class LookupWorkload:
         self.stats = stats if stats is not None else LookupStats()
         self.warmup_s = warmup_s
         self.on_result = on_result
+        #: optional repro.workload.LookupGenerator: non-uniform keys and
+        #: modulated arrival rates.  None keeps the paper's process
+        #: (uniform keys, stationary Poisson), byte-identical to before.
+        self.generator = generator
         self._state = _WorkloadState()
 
     def start(self) -> None:
@@ -334,6 +339,12 @@ class LookupWorkload:
         self._state.stopped = True
 
     def _next_delay(self) -> float:
+        # The generator (when present) must consume the workload RNG in
+        # exactly this position — ColumnarEngine._ev_fire mirrors it.
+        if self.generator is not None:
+            return self.generator.next_delay(
+                self.rng, self.sim.now, len(self.population)
+            )
         rate = max(1, len(self.population)) / self.mean_interval_s
         return self.rng.expovariate(rate)
 
@@ -342,7 +353,10 @@ class LookupWorkload:
             return
         node = self.population.pick(self.rng)
         if node is not None and node.alive:
-            key = self.rng.getrandbits(node.space.bits)
+            if self.generator is not None:
+                key = self.generator.draw_key(self.rng)
+            else:
+                key = self.rng.getrandbits(node.space.bits)
             node.lookup(
                 key,
                 on_done=self._record,

@@ -88,12 +88,16 @@ class FastVerDiNode(VerDiNode):
     def _start_put(self, op: _Op) -> None:
         self._lookup_then(op, self.adjusted_key(op.key), self._put_entries)
 
+    def _fetch_params_extra(self) -> dict:
+        return {"cert": self.node.cert}
+
     def _get_entries(self, op: _Op, res: LookupResult) -> None:
         if not res.success or not res.entries:
             self._finish(op, False, error=res.error or "lookup failed")
             return
-        op.targets = list(res.entries)
-        self._fetch_from(op, params_extra={"cert": self.node.cert})
+        self._note_entries(op.key, list(res.entries))
+        op.targets = self._order_targets(res.entries)
+        self._fetch_from(op, params_extra=self._fetch_params_extra())
 
     def _put_entries(self, op: _Op, res: LookupResult) -> None:
         if not res.success or not res.entries:

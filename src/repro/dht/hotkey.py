@@ -1,0 +1,186 @@
+"""Hot-key detection, replica caching, and load-aware replica choice.
+
+Zipf-skewed workloads concentrate reads on a handful of keys; without a
+serving-side answer the head keys' replica group becomes the overload
+hot spot.  Three cooperating pieces (all per-DHT-node, all on the sim
+clock, deterministic):
+
+* :class:`HotKeyTracker` — a sliding-window access counter that flags a
+  key *hot* once it is read ``threshold`` times within ``window_s``;
+* :class:`ReplicaCache` — an LRU, TTL-bounded cache of replica entry
+  lists for hot keys, letting repeat reads skip the overlay lookup
+  entirely (the cached addresses are *hints*: see ``docs/serving.md``
+  for the coherence rules — TTL expiry, purge on failure-detector
+  death, discard on fetch miss);
+* :class:`LoadEstimator` — an EWMA of observed fetch latency plus an
+  outstanding-request count per replica address, used to order a replica
+  list least-loaded-first on the read path.
+
+Values themselves are content-addressed (the key is the value's hash),
+so a cached or promoted *value* can never be stale — only the *address
+hints* age, which is what the TTL and invalidation hooks bound.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..chord.state import NodeInfo
+
+
+class HotKeyTracker:
+    """Flags keys read ``threshold``+ times within the last ``window_s``."""
+
+    __slots__ = ("window_s", "threshold", "_hits", "_sweep_at")
+
+    #: cold-key garbage collection cadence, in multiples of the window
+    _SWEEP_WINDOWS = 4.0
+
+    def __init__(self, window_s: float, threshold: int) -> None:
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        self.window_s = window_s
+        self.threshold = threshold
+        self._hits: Dict[int, Deque[float]] = {}
+        self._sweep_at = self._SWEEP_WINDOWS * window_s
+
+    def note(self, key: int, now: float) -> None:
+        """Record one read of ``key`` at time ``now``."""
+        hits = self._hits.get(key)
+        if hits is None:
+            hits = self._hits[key] = deque()
+        hits.append(now)
+        self._prune(hits, now)
+        if now >= self._sweep_at:
+            self._sweep_at = now + self._SWEEP_WINDOWS * self.window_s
+            horizon = now - self.window_s
+            for k in [k for k, h in self._hits.items() if h[-1] < horizon]:
+                del self._hits[k]
+
+    def is_hot(self, key: int, now: float) -> bool:
+        """True when ``key`` crossed the threshold inside the window."""
+        hits = self._hits.get(key)
+        if hits is None:
+            return False
+        self._prune(hits, now)
+        return len(hits) >= self.threshold
+
+    def _prune(self, hits: Deque[float], now: float) -> None:
+        horizon = now - self.window_s
+        while hits and hits[0] < horizon:
+            hits.popleft()
+
+
+class ReplicaCache:
+    """LRU + TTL cache: key -> replica entry list (address hints)."""
+
+    __slots__ = ("capacity", "ttl_s", "_entries")
+
+    def __init__(self, capacity: int, ttl_s: float) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if ttl_s <= 0:
+            raise ValueError("ttl must be positive")
+        self.capacity = capacity
+        self.ttl_s = ttl_s
+        self._entries: OrderedDict[int, Tuple[List[NodeInfo], float]] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: int, now: float) -> Optional[List[NodeInfo]]:
+        """The cached entry list, or None when absent or expired."""
+        hit = self._entries.get(key)
+        if hit is None:
+            return None
+        entries, stored_at = hit
+        if now - stored_at > self.ttl_s:
+            del self._entries[key]
+            return None
+        self._entries.move_to_end(key)
+        return list(entries)
+
+    def put(self, key: int, entries: List[NodeInfo], now: float) -> None:
+        """Cache ``entries`` for ``key``, evicting the LRU tail."""
+        if not entries:
+            return
+        self._entries[key] = (list(entries), now)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate(self, key: int) -> None:
+        """Drop ``key``'s cached entries (hints proved useless)."""
+        self._entries.pop(key, None)
+
+    def discard_address(self, key: int, address) -> None:
+        """Drop one dead/missing replica hint from ``key``'s entry."""
+        hit = self._entries.get(key)
+        if hit is None:
+            return
+        entries = [e for e in hit[0] if e.address != address]
+        if entries:
+            self._entries[key] = (entries, hit[1])
+        else:
+            del self._entries[key]
+
+    def invalidate_address(self, address) -> None:
+        """Failure-detector purge: remove ``address`` from every entry."""
+        for key in [
+            k for k, (entries, _) in self._entries.items()
+            if any(e.address == address for e in entries)
+        ]:
+            self.discard_address(key, address)
+
+
+class LoadEstimator:
+    """Per-replica-address load scores for read-path replica selection.
+
+    Score = EWMA of observed fetch latency plus a penalty per request
+    currently outstanding to that address; ``order`` sorts a candidate
+    list by ascending score, stably, so unknown addresses keep the
+    lookup's responsibility order.
+    """
+
+    __slots__ = ("alpha", "outstanding_penalty_s", "_ewma", "_outstanding")
+
+    def __init__(self, alpha: float, outstanding_penalty_s: float = 0.5) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.outstanding_penalty_s = outstanding_penalty_s
+        self._ewma: Dict[object, float] = {}
+        self._outstanding: Dict[object, int] = {}
+
+    def note_start(self, address) -> None:
+        """One fetch went out to ``address``."""
+        self._outstanding[address] = self._outstanding.get(address, 0) + 1
+
+    def note_done(self, address, latency_s: float, failed: bool = False) -> None:
+        """The fetch to ``address`` finished (``failed`` = timed out)."""
+        count = self._outstanding.get(address, 0) - 1
+        if count > 0:
+            self._outstanding[address] = count
+        else:
+            self._outstanding.pop(address, None)
+        prev = self._ewma.get(address)
+        if failed:
+            latency_s *= 2.0  # a timeout is worse than its elapsed time
+        if prev is None:
+            self._ewma[address] = latency_s
+        else:
+            self._ewma[address] = prev + self.alpha * (latency_s - prev)
+
+    def score(self, address) -> float:
+        """Estimated cost of sending the next fetch to ``address``."""
+        return (
+            self._ewma.get(address, 0.0)
+            + self._outstanding.get(address, 0) * self.outstanding_penalty_s
+        )
+
+    def order(self, targets: List[NodeInfo]) -> List[NodeInfo]:
+        """``targets`` least-loaded-first (stable for unseen addresses)."""
+        return sorted(targets, key=lambda info: self.score(info.address))

@@ -65,6 +65,12 @@ class Fig5Config:
     #: ``"columnar"`` (the flat-array engine of repro.chord.columnar;
     #: bit-identical metrics, required at >=100k nodes).
     engine: str = "object"
+    #: key-popularity model: ``"poisson"`` (uniform keys, the paper's
+    #: §7.1.1 process) or ``"zipf"`` (see repro.workload).
+    workload: str = "poisson"
+    #: arrival shape: ``"none"`` (stationary), ``"spike"``, ``"ramp"``
+    #: or ``"diurnal"`` (see repro.workload.overload_shape).
+    overload: str = "none"
 
     def paper_scale(self) -> "Fig5Config":
         return replace(
@@ -143,7 +149,24 @@ def run_cell_instrumented(
             if system == "chord-transitive"
             else LookupStyle.RECURSIVE
         )
-        stats = LookupStats()
+        # Non-default workload presets get a generator and serving
+        # stats (tail latency / goodput); the defaults keep the plain
+        # LookupStats and the exact historical RNG stream.
+        generator = None
+        if config.workload != "poisson" or config.overload != "none":
+            from ..workload import ServingStats, build_generator
+
+            generator = build_generator(
+                config.workload,
+                config.overload,
+                overlay_cfg.space.bits,
+                config.mean_lookup_interval_s,
+                config.duration_s,
+                config.warmup_s,
+            )
+            stats: LookupStats = ServingStats(sim)
+        else:
+            stats = LookupStats()
         engine = None
         if config.engine == "columnar":
             from ..chord.columnar import ColumnarEngine
@@ -157,6 +180,7 @@ def run_cell_instrumented(
                 config.mean_lookup_interval_s,
                 stats,
                 config.warmup_s,
+                generator=generator,
             )
             population = engine.population
         else:
@@ -181,6 +205,7 @@ def run_cell_instrumented(
                 mean_interval_s=config.mean_lookup_interval_s,
                 stats=stats,
                 warmup_s=config.warmup_s,
+                generator=generator,
             )
             workload.start()
             population = ring.population
@@ -242,6 +267,27 @@ def run_cell_instrumented(
         if stats.successes:
             metrics.gauge(prefix + ".mean_latency_s").set(latency_summary.mean)
             metrics.gauge(prefix + ".mean_hops").set(hops_summary.mean)
+        if generator is not None and stats.successes:
+            # Serving-quality snapshot: tail latency over the whole
+            # cell, goodput over the measured interval, and the
+            # pre/during/post split when the shape defines a window.
+            metrics.gauge(prefix + ".p99_latency_s").set(stats.p99_latency_s)
+            metrics.gauge(prefix + ".p999_latency_s").set(stats.p999_latency_s)
+            metrics.gauge(prefix + ".goodput_per_s").set(
+                stats.goodput_per_s(config.warmup_s, config.duration_s)
+            )
+            window = generator.overload_window
+            if window is not None:
+                t0, t1 = window
+                metrics.gauge(prefix + ".goodput_pre_per_s").set(
+                    stats.goodput_per_s(config.warmup_s, t0)
+                )
+                metrics.gauge(prefix + ".goodput_overload_per_s").set(
+                    stats.goodput_per_s(t0, t1)
+                )
+                metrics.gauge(prefix + ".goodput_post_per_s").set(
+                    stats.goodput_per_s(t1, config.duration_s)
+                )
     return row, events
 
 

@@ -57,6 +57,24 @@ class ResilienceRow:
 
 
 @dataclass(frozen=True)
+class OverloadRow:
+    """One admission policy's serving quality across a load spike."""
+
+    policy: str                      # shed / noshed
+    lookups: int
+    successes: int
+    failures: int
+    shed_rate: int                   # token-bucket rejections
+    shed_queue: int                  # queue-depth rejections
+    p50_latency_s: float
+    p99_latency_s: float
+    p999_latency_s: float
+    goodput_pre_per_s: float         # before the overload window
+    goodput_overload_per_s: float    # inside it
+    goodput_post_per_s: float        # after it
+
+
+@dataclass(frozen=True)
 class Fig8Row:
     """One curve of Fig. 8, summarised."""
 

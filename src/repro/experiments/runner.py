@@ -8,6 +8,7 @@ Regenerate any paper figure (or the ablations) from the shell::
     python -m repro.experiments.runner fig8 [--runs 10] [--workers N]
     python -m repro.experiments.runner resilience
     python -m repro.experiments.runner ablations [--workers N]
+    python -m repro.experiments.runner overload [--smoke]
 
 Scaled-down parameters by default (seconds to minutes); ``--paper-scale``
 switches to the paper's §7 configurations (minutes to an hour), and
@@ -20,6 +21,13 @@ or ``columnar`` for fig5/fig6/fig7 (the flat-array live-protocol
 engine of :mod:`repro.chord.columnar`; bit-identical metrics, required
 at >=100k nodes), and ``columnar`` (default) or ``legacy`` for fig8's
 worm engines.  Unknown names are rejected with the available list.
+
+``--workload NAME`` / ``--overload NAME`` (fig5 and overload) select
+the key-popularity model (``poisson``, ``zipf``) and the arrival shape
+(``none``, ``spike``, ``ramp``, ``diurnal``) of the lookup workload —
+see :mod:`repro.workload` and ``docs/serving.md``.  The ``overload``
+experiment compares admission policies (shed vs noshed) across the
+shaped load and reports p99/p999 tail latency and goodput.
 
 ``--workers N`` fans the independent (system/scenario, seed) cells of
 fig5/fig6/fig7/fig8/ablations across N processes (see
@@ -120,6 +128,7 @@ ENGINE_CHOICES = {
     "fig6": OVERLAY_ENGINES,
     "fig7": OVERLAY_ENGINES,
     "fig8": ("columnar",) + tuple(e for e in sorted(WORM_ENGINES) if e != "columnar"),
+    "overload": OVERLAY_ENGINES,
 }
 
 
@@ -141,6 +150,14 @@ def _apply_seed(args, cfg):
     return cfg
 
 
+def _apply_workload(args, cfg):
+    if args.workload is not None:
+        cfg = replace(cfg, workload=args.workload)
+    if args.overload is not None:
+        cfg = replace(cfg, overload=args.overload)
+    return cfg
+
+
 def _fig5(args) -> None:
     cfg = Fig5Config()
     if args.paper_scale:
@@ -148,6 +165,7 @@ def _fig5(args) -> None:
     cfg = _apply_preset(args, cfg)
     cfg = _apply_seed(args, cfg)
     cfg = _apply_engine(args, cfg)
+    cfg = _apply_workload(args, cfg)
     rows = run_fig5_parallel(cfg, workers=args.workers)
     if args.csv:
         print(f"wrote {write_rows_csv(Path(args.csv) / 'fig5.csv', rows)}")
@@ -262,6 +280,38 @@ def _ablations(args) -> None:
               f"{mt.infected}/{mt.vulnerable} vulnerable nodes")
 
 
+def _overload(args) -> None:
+    from .overload import OverloadConfig, run_overload, smoke_config
+
+    cfg = smoke_config() if args.smoke else OverloadConfig()
+    cfg = _apply_seed(args, cfg)
+    cfg = _apply_engine(args, cfg)
+    cfg = _apply_workload(args, cfg)
+    rows = run_overload(cfg)
+    if args.csv:
+        print(f"wrote {write_rows_csv(Path(args.csv) / 'overload.csv', rows)}")
+    print(format_table(
+        ["policy", "lookups", "ok", "shed_rate", "shed_queue", "p50_s",
+         "p99_s", "p999_s", "gp_pre/s", "gp_over/s", "gp_post/s"],
+        [[r.policy, r.lookups, r.successes, r.shed_rate, r.shed_queue,
+          round(r.p50_latency_s, 3), round(r.p99_latency_s, 3),
+          round(r.p999_latency_s, 3), round(r.goodput_pre_per_s, 2),
+          round(r.goodput_overload_per_s, 2), round(r.goodput_post_per_s, 2)]
+         for r in rows],
+    ))
+    shed = next((r for r in rows if r.policy == "shed"), None)
+    noshed = next((r for r in rows if r.policy == "noshed"), None)
+    if shed is not None and noshed is not None and shed.goodput_pre_per_s > 0:
+        held = shed.goodput_overload_per_s >= 0.8 * shed.goodput_pre_per_s
+        degraded = (
+            noshed.goodput_post_per_s < 0.8 * noshed.goodput_pre_per_s
+            or noshed.goodput_overload_per_s < 0.8 * shed.goodput_overload_per_s
+        )
+        print(f"criterion: shed goodput held within 20% of pre-spike: "
+              f"{'yes' if held else 'NO'}; noshed control degraded: "
+              f"{'yes' if degraded else 'NO'}")
+
+
 def _r(v):
     return None if v is None else round(v, 1)
 
@@ -282,7 +332,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "figure",
-        choices=["fig5", "fig6", "fig7", "fig8", "resilience", "ablations"],
+        choices=["fig5", "fig6", "fig7", "fig8", "resilience", "ablations",
+                 "overload"],
     )
     parser.add_argument("--paper-scale", action="store_true")
     parser.add_argument(
@@ -326,6 +377,18 @@ def main(argv=None) -> int:
         "--seed", type=int, default=None, metavar="N",
         help="override the experiment config's base seed (reproduce CI "
              "invariant failures locally)")
+    parser.add_argument(
+        "--workload", metavar="NAME", default=None,
+        help="key-popularity model for fig5/overload lookups: poisson "
+             "(uniform keys, the default) or zipf (see docs/serving.md)")
+    parser.add_argument(
+        "--overload", metavar="NAME", default=None,
+        help="arrival shape for fig5/overload lookups: none (default), "
+             "spike, ramp, or diurnal (see docs/serving.md)")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="overload only: the seconds-scale CI cell instead of the "
+             "default scale")
     args = parser.parse_args(argv)
     if args.preset is not None:
         table = PRESETS.get(args.figure)
@@ -343,13 +406,30 @@ def main(argv=None) -> int:
         if args.engine not in engines:
             parser.error(f"unknown {args.figure} engine {args.engine!r} "
                          f"(available: {', '.join(engines)})")
+    if args.workload is not None or args.overload is not None:
+        if args.figure not in ("fig5", "overload"):
+            parser.error(
+                "--workload/--overload are only supported for fig5 and "
+                "overload"
+            )
+        from ..workload import OVERLOADS, WORKLOADS
+
+        if args.workload is not None and args.workload not in WORKLOADS:
+            parser.error(f"unknown workload {args.workload!r} "
+                         f"(choices: {', '.join(WORKLOADS)})")
+        if args.overload is not None and args.overload not in OVERLOADS:
+            parser.error(f"unknown overload {args.overload!r} "
+                         f"(choices: {', '.join(OVERLOADS)})")
+    if args.smoke and args.figure != "overload":
+        parser.error("--smoke is only supported for overload")
     if args.trace is not None and args.workers != 1:
         print("--trace is serial-only; forcing --workers 1", file=sys.stderr)
         args.workers = 1
     if args.invariants is not None:
-        if args.figure not in ("fig5", "resilience"):
+        if args.figure not in ("fig5", "resilience", "overload"):
             parser.error(
-                "--invariants is only supported for fig5 and resilience"
+                "--invariants is only supported for fig5, resilience and "
+                "overload"
             )
         if args.workers != 1:
             print("--invariants is serial-only; forcing --workers 1",
@@ -363,6 +443,7 @@ def main(argv=None) -> int:
         "fig8": lambda: _fig8(args),
         "resilience": lambda: _resilience(args),
         "ablations": lambda: _ablations(args),
+        "overload": lambda: _overload(args),
     }[args.figure]
     obs_on = (
         args.metrics is not None or args.trace is not None or args.profile
@@ -436,11 +517,18 @@ def _repro_command(args) -> str:
         parts.append(f"--preset {args.preset}")
     seed = args.seed
     if seed is None:
-        seed = {
-            "fig5": Fig5Config().seed,
-            "resilience": ResilienceConfig().seed,
-        }.get(args.figure, 0)
+        if args.figure == "overload":
+            from .overload import OverloadConfig
+
+            seed = OverloadConfig().seed
+        else:
+            seed = {
+                "fig5": Fig5Config().seed,
+                "resilience": ResilienceConfig().seed,
+            }.get(args.figure, 0)
     parts.append(f"--seed {seed}")
+    if getattr(args, "smoke", False):
+        parts.append("--smoke")
     parts.append("--invariants strict")
     return " ".join(parts)
 

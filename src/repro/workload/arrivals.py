@@ -1,0 +1,96 @@
+"""Arrival-rate shapes: deterministic rate multipliers over sim time.
+
+A shape is a pure function ``multiplier(t) -> float`` scaling the base
+arrival rate at virtual time ``t``; it consumes no RNG, so both engines
+see identical modulated processes.  ``window()`` reports the shape's
+overload interval ``(start, end)`` when one exists — the experiment
+drivers use it to split goodput into pre/overload/post windows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+
+class ConstantShape:
+    """No modulation: the paper's stationary Poisson workload."""
+
+    def multiplier(self, t: float) -> float:
+        """Always 1.0."""
+        return 1.0
+
+    def window(self) -> Optional[Tuple[float, float]]:
+        """No overload interval."""
+        return None
+
+
+class SpikeShape:
+    """A flash crowd: rate jumps to ``factor`` × base over one interval."""
+
+    def __init__(self, start: float, duration: float, factor: float) -> None:
+        if duration <= 0 or factor <= 0:
+            raise ValueError("spike needs positive duration and factor")
+        self.start = start
+        self.end = start + duration
+        self.factor = factor
+
+    def multiplier(self, t: float) -> float:
+        """``factor`` inside the spike window, 1.0 outside."""
+        return self.factor if self.start <= t < self.end else 1.0
+
+    def window(self) -> Optional[Tuple[float, float]]:
+        """The spike interval."""
+        return (self.start, self.end)
+
+
+class RampShape:
+    """Linear rate growth from 1× at ``start`` to ``factor``× at ``end``."""
+
+    def __init__(self, start: float, end: float, factor: float) -> None:
+        if end <= start or factor <= 0:
+            raise ValueError("ramp needs end > start and a positive factor")
+        self.start = start
+        self.end = end
+        self.factor = factor
+
+    def multiplier(self, t: float) -> float:
+        """1.0 before the ramp, linear growth inside, ``factor`` after."""
+        if t <= self.start:
+            return 1.0
+        if t >= self.end:
+            return self.factor
+        frac = (t - self.start) / (self.end - self.start)
+        return 1.0 + frac * (self.factor - 1.0)
+
+    def window(self) -> Optional[Tuple[float, float]]:
+        """The second half of the ramp (rate above the midpoint)."""
+        mid = self.start + 0.5 * (self.end - self.start)
+        return (mid, self.end)
+
+
+class DiurnalShape:
+    """Sinusoidal day/night cycle around the base rate.
+
+    ``multiplier(t) = 1 + amplitude * sin(2π (t - phase) / period)``,
+    floored at 0.05 so the process never stops entirely.
+    """
+
+    def __init__(self, period: float, amplitude: float = 0.6,
+                 phase: float = 0.0) -> None:
+        if period <= 0:
+            raise ValueError("diurnal period must be positive")
+        self.period = period
+        self.amplitude = amplitude
+        self.phase = phase
+
+    def multiplier(self, t: float) -> float:
+        """The sinusoidal multiplier at ``t`` (never below 0.05)."""
+        value = 1.0 + self.amplitude * math.sin(
+            2.0 * math.pi * (t - self.phase) / self.period
+        )
+        return value if value > 0.05 else 0.05
+
+    def window(self) -> Optional[Tuple[float, float]]:
+        """No single overload interval (the peak recurs every period)."""
+        return None

@@ -1,0 +1,88 @@
+"""Closed-loop clients: a fixed fleet, one outstanding lookup each.
+
+The open-loop drivers (``LookupWorkload`` and the columnar engine's
+mirror) keep issuing at the generator's rate no matter how slow the
+overlay gets — the right model for measuring overload.  The closed-loop
+fleet here is the complementary model: each of ``clients`` virtual
+users issues one lookup, waits for the result, thinks for an
+exponential ``think_time_s``, and repeats, so offered load self-limits
+as latency grows.  Object-graph engine only (the columnar engine
+mirrors the open-loop driver, which is what the experiments gate on).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..analysis.stats import LookupStats
+from ..chord.lookup import LookupPurpose, LookupResult, LookupStyle
+from .generator import LookupGenerator
+
+
+class ClosedLoopWorkload:
+    """``clients`` synchronous users over the alive population."""
+
+    def __init__(
+        self,
+        sim,
+        population,
+        rng: random.Random,
+        style: LookupStyle,
+        generator: LookupGenerator,
+        clients: int = 16,
+        think_time_s: float = 1.0,
+        stats: Optional[LookupStats] = None,
+        warmup_s: float = 0.0,
+    ) -> None:
+        if clients < 1:
+            raise ValueError("need at least one client")
+        self.sim = sim
+        self.population = population
+        self.rng = rng
+        self.style = style
+        self.generator = generator
+        self.clients = clients
+        self.think_time_s = think_time_s
+        self.stats = stats if stats is not None else LookupStats()
+        self.warmup_s = warmup_s
+        self.in_flight = 0
+        self._stopped = False
+
+    def start(self) -> None:
+        """Schedule every client's first request after warmup + think."""
+        for _ in range(self.clients):
+            self.sim.schedule(
+                self.warmup_s + self._think(), self._issue
+            )
+
+    def stop(self) -> None:
+        """Stop issuing; in-flight lookups still complete and record."""
+        self._stopped = True
+
+    def _think(self) -> float:
+        return self.rng.expovariate(1.0 / self.think_time_s)
+
+    def _issue(self) -> None:
+        if self._stopped:
+            return
+        node = self.population.pick(self.rng)
+        if node is None or not node.alive:
+            # The picked node died between pick and issue: think again.
+            self.sim.schedule(self._think(), self._issue)
+            return
+        self.in_flight += 1
+        key = self.generator.draw_key(self.rng)
+        node.lookup(
+            key,
+            on_done=self._done,
+            style=self.style,
+            purpose=LookupPurpose.DHT,
+            category="lookup",
+        )
+
+    def _done(self, result: LookupResult) -> None:
+        self.in_flight -= 1
+        self.stats.record(result.success, result.latency_s, result.hops)
+        if not self._stopped:
+            self.sim.schedule(self._think(), self._issue)

@@ -1,0 +1,114 @@
+"""The generator both live engines drive their lookup workload from.
+
+A :class:`LookupGenerator` pairs a key-popularity model (keys.py) with
+an arrival shape (arrivals.py).  The drivers call exactly two methods
+per fire event — ``draw_key(rng)`` then ``next_delay(rng, now, n)`` —
+in that order, against the shared per-cell workload RNG stream; keeping
+that call order identical in ``repro.chord.ring.LookupWorkload`` and
+``ColumnarEngine._ev_fire`` is what makes the two engines bit-identical
+under any workload preset.
+
+The modulated process samples the rate multiplier at *schedule* time
+(the moment the previous event fires), not via exact non-homogeneous
+Poisson thinning.  Inter-arrival gaps are orders of magnitude shorter
+than the shape timescales, so the distinction is negligible — and the
+approximation is the same deterministic function of the RNG stream in
+both engines, which is what the equivalence tests need.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from .arrivals import ConstantShape, DiurnalShape, RampShape, SpikeShape
+from .keys import TraceKeys, UniformKeys, ZipfKeys
+
+#: ``--workload`` preset names (key-popularity models).
+WORKLOADS = ("poisson", "zipf")
+#: ``--overload`` preset names (arrival shapes).
+OVERLOADS = ("none", "spike", "ramp", "diurnal")
+
+#: Rate multiplier of the ``spike`` preset's flash crowd.
+SPIKE_FACTOR = 8.0
+#: Peak multiplier of the ``ramp`` preset.
+RAMP_FACTOR = 4.0
+
+
+class LookupGenerator:
+    """Key draws + modulated exponential inter-arrival times."""
+
+    def __init__(self, keys, shape, mean_interval_s: float) -> None:
+        self.keys = keys
+        self.shape = shape
+        self.mean_interval_s = mean_interval_s
+
+    def draw_key(self, rng) -> int:
+        """The next lookup key (consumes the workload RNG)."""
+        return self.keys.draw(rng)
+
+    def next_delay(self, rng, now: float, population: int) -> float:
+        """Exponential delay at the aggregate rate in force at ``now``."""
+        rate = (
+            max(1, population)
+            / self.mean_interval_s
+            * self.shape.multiplier(now)
+        )
+        return rng.expovariate(rate)
+
+    @property
+    def overload_window(self) -> Optional[Tuple[float, float]]:
+        """The shape's overload interval, if it defines one."""
+        return self.shape.window()
+
+
+def overload_shape(name: str, duration_s: float, warmup_s: float,
+                   factor: Optional[float] = None):
+    """The named arrival shape sized to one experiment cell.
+
+    Shapes are placed relative to the measured interval
+    ``[warmup_s, duration_s)``: the spike covers the middle quarter,
+    the ramp the second half, the diurnal one full period.
+    """
+    active = duration_s - warmup_s
+    if name == "none":
+        return ConstantShape()
+    if name == "spike":
+        start = warmup_s + 0.4 * active
+        return SpikeShape(start, 0.25 * active, factor or SPIKE_FACTOR)
+    if name == "ramp":
+        return RampShape(warmup_s + 0.5 * active, duration_s,
+                         factor or RAMP_FACTOR)
+    if name == "diurnal":
+        return DiurnalShape(period=active, phase=warmup_s)
+    raise ValueError(
+        f"unknown overload preset {name!r} (available: {', '.join(OVERLOADS)})"
+    )
+
+
+def build_generator(
+    workload: str,
+    overload: str,
+    space_bits: int,
+    mean_interval_s: float,
+    duration_s: float,
+    warmup_s: float,
+    zipf_s: float = 0.99,
+    zipf_universe: int = 10_000,
+    overload_factor: Optional[float] = None,
+    trace: Optional[Sequence[int]] = None,
+) -> LookupGenerator:
+    """One per-cell generator from the ``--workload``/``--overload``
+    preset names (pass ``trace`` for trace-driven keys — API only)."""
+    if trace is not None:
+        keys = TraceKeys(trace)
+    elif workload == "poisson":
+        keys = UniformKeys(space_bits)
+    elif workload == "zipf":
+        keys = ZipfKeys(space_bits, s=zipf_s, universe=zipf_universe)
+    else:
+        raise ValueError(
+            f"unknown workload preset {workload!r} "
+            f"(available: {', '.join(WORKLOADS)})"
+        )
+    shape = overload_shape(overload, duration_s, warmup_s, overload_factor)
+    return LookupGenerator(keys, shape, mean_interval_s)

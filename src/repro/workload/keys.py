@@ -1,0 +1,108 @@
+"""Key-popularity models for the workload generators.
+
+Each model draws lookup keys from the overlay's id space with a fixed
+RNG budget per draw (at most one ``rng.random()`` / ``getrandbits``
+call), so the object-graph and columnar engines consume the shared
+workload stream in exactly the same order — the property the
+engine-equivalence tests pin down.
+
+``ZipfKeys`` maps popularity *ranks* to id-space keys through a
+deterministic integer mix (no RNG), so rank *r* is the same key in
+every run and every engine at any id width.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Sequence
+
+_M64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """One round of the splitmix64 mixer (public-domain constants)."""
+    x = (x + 0x9E3779B97F4A7C15) & _M64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
+    return x ^ (x >> 31)
+
+
+def rank_to_key(rank: int, bits: int) -> int:
+    """The deterministic id-space key of popularity rank ``rank``."""
+    out = 0
+    produced = 0
+    while produced < bits:
+        out = (out << 64) | _splitmix64((rank << 8) | (produced // 64))
+        produced += 64
+    return out & ((1 << bits) - 1)
+
+
+class UniformKeys:
+    """Uniformly random keys — the paper's §7.1.1 workload."""
+
+    def __init__(self, bits: int) -> None:
+        self.bits = bits
+
+    def draw(self, rng) -> int:
+        """One uniform key (one ``getrandbits`` call)."""
+        return rng.getrandbits(self.bits)
+
+
+class ZipfKeys:
+    """Zipf(s) popularity over a fixed key universe.
+
+    Rank *r* (0-based) is drawn with probability proportional to
+    ``1 / (r + 1) ** s`` via inverse-CDF sampling on one
+    ``rng.random()`` call, then mapped to an id-space key with
+    :func:`rank_to_key`.
+    """
+
+    def __init__(self, bits: int, s: float = 0.99, universe: int = 10_000) -> None:
+        if universe < 1:
+            raise ValueError("need at least one key in the universe")
+        self.bits = bits
+        self.s = s
+        self.universe = universe
+        weights = [1.0 / (r + 1) ** s for r in range(universe)]
+        total = sum(weights)
+        cdf: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cdf.append(acc)
+        cdf[-1] = 1.0  # guard against float drift at the tail
+        self._cdf = cdf
+        self._keys = [rank_to_key(r, bits) for r in range(universe)]
+
+    def key_of(self, rank: int) -> int:
+        """The id-space key of popularity rank ``rank`` (0 = hottest)."""
+        return self._keys[rank]
+
+    def weight_of(self, rank: int) -> float:
+        """The draw probability of rank ``rank``."""
+        prev = self._cdf[rank - 1] if rank else 0.0
+        return self._cdf[rank] - prev
+
+    def draw(self, rng) -> int:
+        """One Zipf-distributed key (one ``rng.random()`` call)."""
+        return self._keys[bisect_right(self._cdf, rng.random())]
+
+
+class TraceKeys:
+    """Replay a recorded key sequence, cycling at the end.
+
+    Consumes no RNG; the cursor is per-instance, so build one generator
+    per experiment cell (the drivers do).
+    """
+
+    def __init__(self, keys: Sequence[int]) -> None:
+        if not keys:
+            raise ValueError("trace must contain at least one key")
+        self._keys = list(keys)
+        self._next = 0
+
+    def draw(self, rng) -> int:
+        """The next trace key (RNG untouched)."""
+        key = self._keys[self._next]
+        self._next = (self._next + 1) % len(self._keys)
+        return key

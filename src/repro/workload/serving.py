@@ -1,0 +1,59 @@
+"""Serving-quality statistics: tail latency and goodput over time.
+
+:class:`ServingStats` is a drop-in :class:`~repro.analysis.stats.LookupStats`
+that additionally timestamps every successful completion on the sim
+clock, so experiments can report p99/p999 latency and windowed goodput
+(successes per second of virtual time) — the quantities that actually
+move under overload, where means stay misleadingly flat until collapse.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import List
+
+from ..analysis.stats import LookupStats, percentile
+
+
+class ServingStats(LookupStats):
+    """Lookup outcomes plus completion timestamps for tail/goodput."""
+
+    def __init__(self, clock) -> None:
+        super().__init__()
+        #: any object with a ``now`` attribute/property on the sim clock
+        self._clock = clock
+        #: success completion times, non-decreasing (the sim clock only
+        #: moves forward and record() runs inside the event loop)
+        self.done_at: List[float] = []
+
+    def record(self, success: bool, latency_s: float, hop_count: int) -> None:
+        """One lookup outcome, stamped with the current virtual time."""
+        super().record(success, latency_s, hop_count)
+        if success:
+            self.done_at.append(self._clock.now)
+
+    def _latency_percentile(self, pct: float) -> float:
+        return percentile(sorted(self.latencies_s), pct)
+
+    @property
+    def p50_latency_s(self) -> float:
+        """Median success latency."""
+        return self._latency_percentile(50.0)
+
+    @property
+    def p99_latency_s(self) -> float:
+        """99th-percentile success latency."""
+        return self._latency_percentile(99.0)
+
+    @property
+    def p999_latency_s(self) -> float:
+        """99.9th-percentile success latency."""
+        return self._latency_percentile(99.9)
+
+    def goodput_per_s(self, t0: float, t1: float) -> float:
+        """Successful completions per second inside ``[t0, t1)``."""
+        if t1 <= t0:
+            return 0.0
+        done = self.done_at
+        count = bisect_left(done, t1) - bisect_left(done, t0)
+        return count / (t1 - t0)

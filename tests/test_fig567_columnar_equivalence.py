@@ -79,6 +79,40 @@ def test_fig67_bit_identical(system):
     assert col_events == obj_events
 
 
+def test_fig5_bit_identical_zipf_spike():
+    """The serving-layer workload path (generator-driven keys and
+    rates) keeps the engines bit-identical too."""
+    cfg = replace(FIG5_CFG, workload="zipf", overload="spike")
+    (obj_row, obj_events), (col_row, col_events) = _fig5_both(
+        cfg, "chord-recursive"
+    )
+    assert col_row == obj_row
+    assert col_events == obj_events
+
+
+@pytest.mark.parametrize("policy", ["shed", "noshed"])
+def test_overload_bit_identical(policy):
+    """The admission path (virtual service queue, shed fail-fast)
+    burns the same seqs and draws in both engines."""
+    from repro.experiments.overload import OverloadConfig, run_overload_cell
+
+    cfg = OverloadConfig(
+        num_nodes=48, duration_s=240.0, warmup_s=30.0,
+        mean_lookup_interval_s=4.0,
+    )
+    obj_row, obj_events = run_overload_cell(
+        replace(cfg, engine="object"), policy
+    )
+    col_row, col_events = run_overload_cell(
+        replace(cfg, engine="columnar"), policy
+    )
+    assert asdict(col_row) == asdict(obj_row)
+    assert col_events == obj_events
+    # The cell actually exercised the serving layer.
+    if policy == "shed":
+        assert obj_row.shed_rate + obj_row.shed_queue > 0
+
+
 def test_unknown_engine_rejected():
     with pytest.raises(ValueError, match="unknown engine"):
         run_cell_instrumented(

@@ -1,0 +1,259 @@
+"""Hot-key tracking, replica caching, load-aware replica selection."""
+
+from repro.chord.state import NodeInfo
+from repro.dht import (
+    DhtConfig,
+    DHashNode,
+    HotKeyTracker,
+    LoadEstimator,
+    ReplicaCache,
+)
+from repro.net import NodeAddress
+
+from conftest import build_chord_ring
+
+
+def _info(slot: int) -> NodeInfo:
+    return NodeInfo(node_id=slot, address=NodeAddress(host_slot=slot))
+
+
+# -- HotKeyTracker ------------------------------------------------------------
+
+
+def test_tracker_threshold_within_window():
+    tracker = HotKeyTracker(window_s=10.0, threshold=3)
+    tracker.note(7, 0.0)
+    tracker.note(7, 1.0)
+    assert not tracker.is_hot(7, 1.0)
+    tracker.note(7, 2.0)
+    assert tracker.is_hot(7, 2.0)
+    assert not tracker.is_hot(8, 2.0)  # other keys unaffected
+
+
+def test_tracker_window_expiry_cools_keys():
+    tracker = HotKeyTracker(window_s=10.0, threshold=2)
+    tracker.note(7, 0.0)
+    tracker.note(7, 1.0)
+    assert tracker.is_hot(7, 1.0)
+    # Old hits slide out of the window: 0.0 and 1.0 are both stale.
+    assert not tracker.is_hot(7, 11.5)
+    tracker.note(7, 12.0)
+    assert not tracker.is_hot(7, 12.0)  # one fresh hit, threshold 2
+
+
+# -- ReplicaCache -------------------------------------------------------------
+
+
+def test_cache_ttl_expiry():
+    cache = ReplicaCache(capacity=4, ttl_s=30.0)
+    cache.put(1, [_info(10)], now=0.0)
+    assert cache.get(1, 29.0) is not None
+    assert cache.get(1, 31.0) is None  # expired and dropped
+    assert len(cache) == 0
+
+
+def test_cache_lru_eviction():
+    cache = ReplicaCache(capacity=2, ttl_s=1e9)
+    cache.put(1, [_info(10)], now=0.0)
+    cache.put(2, [_info(20)], now=0.0)
+    cache.get(1, 1.0)  # touch 1: key 2 becomes the LRU tail
+    cache.put(3, [_info(30)], now=2.0)
+    assert cache.get(1, 3.0) is not None
+    assert cache.get(2, 3.0) is None  # evicted
+    assert cache.get(3, 3.0) is not None
+
+
+def test_cache_returns_copies():
+    cache = ReplicaCache(capacity=2, ttl_s=1e9)
+    cache.put(1, [_info(10), _info(11)], now=0.0)
+    got = cache.get(1, 0.0)
+    got.pop()  # callers may consume their list freely
+    assert len(cache.get(1, 0.0)) == 2
+
+
+def test_cache_discard_address_drops_empty_entries():
+    cache = ReplicaCache(capacity=4, ttl_s=1e9)
+    cache.put(1, [_info(10), _info(11)], now=0.0)
+    cache.discard_address(1, NodeAddress(host_slot=10))
+    assert [e.address.host_slot for e in cache.get(1, 0.0)] == [11]
+    cache.discard_address(1, NodeAddress(host_slot=11))
+    assert cache.get(1, 0.0) is None  # last hint gone: entry dropped
+
+
+def test_cache_invalidate_address_purges_every_entry():
+    cache = ReplicaCache(capacity=4, ttl_s=1e9)
+    cache.put(1, [_info(10), _info(11)], now=0.0)
+    cache.put(2, [_info(10)], now=0.0)
+    cache.put(3, [_info(12)], now=0.0)
+    cache.invalidate_address(NodeAddress(host_slot=10))
+    assert [e.address.host_slot for e in cache.get(1, 0.0)] == [11]
+    assert cache.get(2, 0.0) is None
+    assert cache.get(3, 0.0) is not None
+
+
+# -- LoadEstimator ------------------------------------------------------------
+
+
+def test_load_orders_least_loaded_first():
+    load = LoadEstimator(alpha=0.5)
+    fast, slow, unknown = _info(1), _info(2), _info(3)
+    for _ in range(3):
+        load.note_start(fast.address)
+        load.note_done(fast.address, 0.05)
+        load.note_start(slow.address)
+        load.note_done(slow.address, 2.0)
+    assert load.order([slow, fast]) == [fast, slow]
+    # Unknown addresses score 0 (no evidence of load): ahead of known.
+    assert load.order([slow, unknown, fast])[0] is unknown
+
+
+def test_load_outstanding_requests_penalise():
+    load = LoadEstimator(alpha=0.5, outstanding_penalty_s=0.5)
+    a, b = _info(1), _info(2)
+    for addr in (a.address, b.address):
+        load.note_start(addr)
+        load.note_done(addr, 0.1)
+    load.note_start(a.address)  # one in-flight fetch to a
+    assert load.order([a, b]) == [b, a]
+    load.note_done(a.address, 0.1)
+    assert load.score(a.address) == load.score(b.address)
+
+
+def test_load_failures_count_double():
+    load = LoadEstimator(alpha=1.0)
+    a = _info(1)
+    load.note_start(a.address)
+    load.note_done(a.address, 1.0, failed=True)
+    assert load.score(a.address) == 2.0
+
+
+# -- integration: the DHT read path -------------------------------------------
+
+HOT_CFG = DhtConfig(
+    num_replicas=4,
+    hot_cache=True,
+    hot_threshold=2,
+    hot_window_s=3600.0,
+    cache_ttl_s=3600.0,
+    load_aware=True,
+)
+
+
+def _attach(ring, cfg=HOT_CFG):
+    layers = [DHashNode(node, cfg) for node in ring.nodes]
+    for layer in layers:
+        layer.start()
+    return layers
+
+
+def _run_op(ring, fn, *args):
+    results = []
+    fn(*args, results.append)
+    ring.sim.run(until=ring.sim.now + 120)
+    assert results
+    return results[0]
+
+
+def _client_for(ring, layers, key):
+    """A layer whose node does not replicate ``key`` (a pure reader)."""
+    holders = {
+        e.node_id
+        for e in ring.overlay.replica_group(key, HOT_CFG.num_replicas)
+    }
+    return next(l for l in layers if l.node.node_id not in holders)
+
+
+def test_hot_key_promotes_and_caches():
+    ring = build_chord_ring(num_nodes=24, seed=5)
+    layers = _attach(ring)
+    put = _run_op(ring, layers[0].put, b"flash-crowd-object" * 8)
+    assert put.ok
+    client = _client_for(ring, layers, put.key)
+
+    first = _run_op(ring, client.get, put.key)
+    assert first.ok and put.key not in client.store
+    # Second read crosses hot_threshold=2: the fetch promotes a local
+    # copy and the finished lookup caches the replica entries.
+    second = _run_op(ring, client.get, put.key)
+    assert second.ok
+    assert put.key in client.store
+    assert client.replica_cache.get(put.key, ring.sim.now)
+    # Third read is a local hit: same sim instant, no network round trip.
+    before = ring.sim.now
+    third = _run_op(ring, client.get, put.key)
+    assert third.ok and third.latency_s == 0.0 and ring.sim.now >= before
+
+
+def test_cached_entries_skip_the_overlay_lookup():
+    ring = build_chord_ring(num_nodes=24, seed=6)
+    layers = _attach(ring)
+    put = _run_op(ring, layers[0].put, b"cached-entry-read" * 8)
+    client = _client_for(ring, layers, put.key)
+    for _ in range(2):
+        assert _run_op(ring, client.get, put.key).ok
+    # Drop the promoted copy so the next read must use the entry cache.
+    client.store.delete(put.key)
+    # An uncached get starts its overlay lookup synchronously; a cached
+    # one goes straight to the fetch phase without one.
+    results = []
+    lookups_before = client.node.lookups_started
+    client.get(put.key, results.append)
+    assert client.node.lookups_started == lookups_before
+    ring.sim.run(until=ring.sim.now + 120)
+    assert results and results[0].ok
+
+
+def test_cache_invalidation_on_ownership_change_under_churn():
+    """The ISSUE's coherence case: a cached replica holder dies, the
+    ring reconfigures, and reads stay correct — the dead hint is
+    discarded and the read falls back."""
+    from dataclasses import replace
+
+    ring = build_chord_ring(num_nodes=24, seed=7)
+    # Fixed target order (no load-aware reshuffle): the dead hint is
+    # tried first, so the discard-on-error path must fire.
+    layers = _attach(ring, replace(HOT_CFG, load_aware=False))
+    put = _run_op(ring, layers[0].put, b"owner-churn-object" * 8)
+    client = _client_for(ring, layers, put.key)
+    for _ in range(2):
+        assert _run_op(ring, client.get, put.key).ok
+    cached = client.replica_cache.get(put.key, ring.sim.now)
+    assert cached
+
+    dead = cached[0]
+    ring.node_for(dead.node_id).crash()
+    client.store.delete(put.key)  # force the cached-entry read path
+    ring.sim.run(until=ring.sim.now + 120)  # detectors + stabilization
+
+    res = _run_op(ring, client.get, put.key)
+    assert res.ok
+    remaining = client.replica_cache.get(put.key, ring.sim.now)
+    if remaining is not None:
+        assert all(e.address != dead.address for e in remaining)
+
+
+def test_failure_detector_purges_dead_addresses():
+    ring = build_chord_ring(num_nodes=24, seed=8)
+    layers = _attach(ring)
+    put = _run_op(ring, layers[0].put, b"detector-purge-object" * 8)
+    client = _client_for(ring, layers, put.key)
+    for _ in range(2):
+        assert _run_op(ring, client.get, put.key).ok
+    cached = client.replica_cache.get(put.key, ring.sim.now)
+    assert cached
+    # The cache's purge hook rides the overlay's failure detector.
+    assert client._peer_down in client.node._down_hooks
+    for hook in client.node._down_hooks:
+        hook(cached[0])
+    remaining = client.replica_cache.get(put.key, ring.sim.now)
+    assert remaining is None or all(
+        e.address != cached[0].address for e in remaining
+    )
+
+
+def test_secure_variants_never_cache_entries():
+    from repro.dht import CompromiseVerDiNode, SecureVerDiNode
+
+    assert DHashNode.ENTRY_CACHE_OK
+    assert not SecureVerDiNode.ENTRY_CACHE_OK
+    assert not CompromiseVerDiNode.ENTRY_CACHE_OK

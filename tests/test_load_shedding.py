@@ -1,0 +1,122 @@
+"""Admission control: token bucket, service queue, shed causes."""
+
+import pytest
+
+from repro.chord.admission import (
+    SHED_QUEUE,
+    SHED_RATE,
+    AdmissionStats,
+    NodeAdmission,
+    ServicePolicy,
+    TokenBucket,
+)
+
+
+# -- token bucket -------------------------------------------------------------
+
+
+def test_bucket_burst_passes_at_t0():
+    """The bucket starts full: exactly ``burst`` requests pass at t=0."""
+    bucket = TokenBucket(rate_per_s=1.0, burst=3.0)
+    assert [bucket.try_take(0.0) for _ in range(4)] == [True, True, True, False]
+
+
+def test_bucket_zero_burst_is_a_closed_valve():
+    bucket = TokenBucket(rate_per_s=5.0, burst=0.0)
+    assert not any(bucket.try_take(t * 10.0) for t in range(10))
+
+
+def test_bucket_exact_refill_boundary_admits():
+    """After exactly ``1/rate`` idle seconds one token is back."""
+    bucket = TokenBucket(rate_per_s=2.0, burst=1.0)
+    assert bucket.try_take(0.0)
+    assert not bucket.try_take(0.0)  # drained
+    assert not bucket.try_take(0.49)  # one tick early: 0.98 tokens
+    assert bucket.try_take(0.5 + 0.01)  # refilled past the boundary
+    bucket2 = TokenBucket(rate_per_s=2.0, burst=1.0)
+    assert bucket2.try_take(0.0)
+    assert bucket2.try_take(0.5)  # tokens >= 1.0 exactly: admit
+
+
+def test_bucket_refill_caps_at_burst():
+    bucket = TokenBucket(rate_per_s=100.0, burst=2.0)
+    assert bucket.try_take(0.0) and bucket.try_take(0.0)
+    # A long idle period refills to burst, never beyond it.
+    assert [bucket.try_take(1e6) for _ in range(3)] == [True, True, False]
+
+
+def test_bucket_rejects_negative_parameters():
+    with pytest.raises(ValueError):
+        TokenBucket(rate_per_s=-1.0, burst=1.0)
+    with pytest.raises(ValueError):
+        TokenBucket(rate_per_s=1.0, burst=-1.0)
+
+
+# -- policy validation --------------------------------------------------------
+
+
+def test_policy_validates():
+    with pytest.raises(ValueError, match="service rate"):
+        ServicePolicy(service_rate_per_s=0.0)
+    with pytest.raises(ValueError, match="max_queue"):
+        ServicePolicy(service_rate_per_s=1.0, max_queue=-1)
+    policy = ServicePolicy(service_rate_per_s=1.0)
+    assert policy.max_queue is None and policy.bucket_rate_per_s is None
+    assert policy.ingress_only
+
+
+# -- admission ---------------------------------------------------------------
+
+
+def _admission(**kwargs):
+    policy = ServicePolicy(service_rate_per_s=2.0, **kwargs)
+    stats = AdmissionStats()
+    return NodeAdmission(policy, stats), stats
+
+
+def test_departs_spaced_at_service_rate():
+    """Back-to-back arrivals queue behind the 1/rate virtual server."""
+    adm, stats = _admission()
+    delays = [adm.admit(0.0) for _ in range(3)]
+    assert delays == [pytest.approx(0.5), pytest.approx(1.0),
+                      pytest.approx(1.5)]
+    assert stats.accepted == 3 and stats.shed == 0
+    # After the backlog drains, a fresh arrival sees an idle server.
+    for _ in range(3):
+        adm.release()
+    assert adm.admit(10.0) == pytest.approx(0.5)
+
+
+def test_queue_depth_shed_and_release():
+    adm, stats = _admission(max_queue=2)
+    assert isinstance(adm.admit(0.0), float)
+    assert isinstance(adm.admit(0.0), float)
+    assert adm.admit(0.0) == SHED_QUEUE  # depth 2 == max_queue: reject
+    assert stats.shed_queue == 1 and stats.accepted == 2
+    adm.release()
+    assert isinstance(adm.admit(0.0), float)  # a slot freed up
+
+
+def test_rate_shed_fires_before_queue_shed():
+    adm, stats = _admission(max_queue=0, bucket_rate_per_s=1.0,
+                            bucket_burst=0.0)
+    assert adm.admit(0.0) == SHED_RATE
+    assert stats.shed_rate == 1 and stats.shed_queue == 0
+
+
+def test_zero_max_queue_sheds_everything():
+    adm, stats = _admission(max_queue=0)
+    assert all(adm.admit(float(t)) == SHED_QUEUE for t in range(5))
+    assert stats.shed == stats.shed_queue == 5
+
+
+def test_stats_shed_property_sums_causes():
+    stats = AdmissionStats(accepted=7, shed_rate=2, shed_queue=3)
+    assert stats.shed == 5
+
+
+def test_shed_cause_strings_are_the_error_values():
+    """Lookup failures carry these exact strings (fail-fast contract)."""
+    assert SHED_RATE == "shed:rate"
+    assert SHED_QUEUE == "shed:queue"
+    assert SHED_RATE.startswith("shed:") and SHED_QUEUE.startswith("shed:")

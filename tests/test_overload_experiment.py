@@ -1,0 +1,104 @@
+"""The overload experiment: determinism, serving quality, CLI."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.overload import (
+    POLICIES,
+    OverloadConfig,
+    run_overload_cell,
+    smoke_config,
+)
+from repro.experiments.runner import main
+
+CFG = replace(
+    smoke_config(),
+    num_nodes=40,
+    duration_s=240.0,
+    warmup_s=30.0,
+    mean_lookup_interval_s=4.0,
+)
+
+
+@pytest.fixture(scope="module")
+def cells():
+    """Both policy arms at smoke scale, shared across the module."""
+    return {policy: run_overload_cell(CFG, policy) for policy in POLICIES}
+
+
+def test_deterministic_per_seed(cells):
+    row, events = cells["shed"]
+    again_row, again_events = run_overload_cell(CFG, "shed")
+    assert again_row == row
+    assert again_events == events
+    other_row, _ = run_overload_cell(replace(CFG, seed=CFG.seed + 1), "shed")
+    assert other_row != row
+
+
+def test_shed_holds_goodput_through_the_spike(cells):
+    """The ISSUE's acceptance criterion: with shedding on, goodput in
+    the overload window stays within 20% of the pre-spike level."""
+    row, _ = cells["shed"]
+    assert row.goodput_pre_per_s > 0
+    assert row.goodput_overload_per_s >= 0.8 * row.goodput_pre_per_s
+    assert row.goodput_post_per_s >= 0.8 * row.goodput_pre_per_s
+    assert row.shed_rate + row.shed_queue > 0  # backpressure engaged
+
+
+def test_noshed_control_degrades_measurably(cells):
+    """The unbounded-queue control: the backlog outlives the spike, so
+    post-spike goodput collapses and tails blow past the shed arm."""
+    shed, _ = cells["shed"]
+    noshed, _ = cells["noshed"]
+    assert noshed.shed_rate == noshed.shed_queue == 0
+    degraded = (
+        noshed.goodput_post_per_s < 0.8 * noshed.goodput_pre_per_s
+        or noshed.goodput_overload_per_s < 0.8 * shed.goodput_overload_per_s
+    )
+    assert degraded
+    assert noshed.p99_latency_s > shed.p99_latency_s
+
+
+def test_tail_percentiles_are_ordered(cells):
+    for row, _ in cells.values():
+        assert 0 < row.p50_latency_s <= row.p99_latency_s <= row.p999_latency_s
+
+
+def test_runner_overload_smoke_cli(tmp_path, capsys):
+    metrics_path = tmp_path / "overload.metrics.json"
+    assert main(["overload", "--smoke", "--metrics", str(metrics_path)]) == 0
+    out = capsys.readouterr().out
+    assert "shed goodput held within 20% of pre-spike: yes" in out
+    assert "noshed control degraded: yes" in out
+    snapshot = json.loads(metrics_path.read_text())
+    flat = {
+        name
+        for section in snapshot.values()
+        if isinstance(section, dict)
+        for name in section
+    }
+    for policy in POLICIES:
+        prefix = f"overload.{policy}.r0"
+        assert f"{prefix}.p99_latency_s" in flat
+        assert f"{prefix}.p999_latency_s" in flat
+        assert f"{prefix}.goodput_overload_per_s" in flat
+
+
+def test_runner_rejects_misplaced_flags():
+    with pytest.raises(SystemExit):
+        main(["fig6", "--workload", "zipf"])
+    with pytest.raises(SystemExit):
+        main(["fig5", "--workload", "pareto"])
+    with pytest.raises(SystemExit):
+        main(["fig5", "--overload", "tsunami"])
+    with pytest.raises(SystemExit):
+        main(["fig5", "--smoke"])
+
+
+def test_overload_config_validates():
+    with pytest.raises(ValueError):
+        replace(OverloadConfig(), service_rate_per_s=0.0).policy("shed")
+    with pytest.raises(ValueError, match="unknown policy"):
+        OverloadConfig().policy("maybe")

@@ -1,0 +1,162 @@
+"""The workload package: key models, arrival shapes, determinism."""
+
+import math
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workload import (
+    ConstantShape,
+    DiurnalShape,
+    LookupGenerator,
+    RampShape,
+    SpikeShape,
+    TraceKeys,
+    UniformKeys,
+    ZipfKeys,
+    build_generator,
+    overload_shape,
+    rank_to_key,
+)
+
+BITS = 64
+
+
+# -- determinism -------------------------------------------------------------
+
+
+def _stream(generator, seed, n=2000):
+    """(key, delay) pairs drawn the way the live engines draw them."""
+    rng = random.Random(seed)
+    out = []
+    now = 0.0
+    for _ in range(n):
+        key = generator.draw_key(rng)
+        delay = generator.next_delay(rng, now, 100)
+        now += delay
+        out.append((key, delay))
+    return out
+
+
+@pytest.mark.parametrize("workload", ["poisson", "zipf"])
+@pytest.mark.parametrize("overload", ["none", "spike", "ramp", "diurnal"])
+def test_generator_deterministic_per_seed(workload, overload):
+    """Same seed, freshly built generators: byte-identical streams."""
+    make = lambda: build_generator(  # noqa: E731
+        workload, overload, BITS, 8.0, duration_s=600.0, warmup_s=60.0
+    )
+    a = _stream(make(), seed=7)
+    b = _stream(make(), seed=7)
+    assert a == b
+    assert _stream(make(), seed=8) != a
+
+
+def test_rank_to_key_stable_and_distinct():
+    keys = [rank_to_key(r, BITS) for r in range(1, 2000)]
+    assert len(set(keys)) == len(keys)
+    assert all(0 <= k < 2**BITS for k in keys)
+    # Stable across calls/processes (pure splitmix64, no RNG).
+    assert keys[:3] == [rank_to_key(r, BITS) for r in (1, 2, 3)]
+    wide = rank_to_key(1, 160)
+    assert 0 <= wide < 2**160
+
+
+# -- key-popularity models ----------------------------------------------------
+
+
+def test_uniform_keys_span_space():
+    rng = random.Random(0)
+    keys = [UniformKeys(BITS).draw(rng) for _ in range(500)]
+    assert all(0 <= k < 2**BITS for k in keys)
+    assert len(set(keys)) == len(keys)  # 64-bit collisions ~impossible
+
+
+def test_zipf_head_mass_matches_law():
+    """Empirical head frequencies track the normalised 1/r^s weights."""
+    zipf = ZipfKeys(BITS, s=0.99, universe=10_000)
+    rng = random.Random(42)
+    n = 60_000
+    counts = Counter(zipf.draw(rng) for _ in range(n))
+    for rank in (0, 1, 9):
+        observed = counts[zipf.key_of(rank)] / n
+        assert observed == pytest.approx(zipf.weight_of(rank), rel=0.15)
+    # The head dominates: rank 0 beats rank 99 by ~100^0.99.
+    assert counts[zipf.key_of(0)] > 10 * counts[zipf.key_of(99)]
+
+
+def test_zipf_draws_stay_in_universe():
+    zipf = ZipfKeys(BITS, s=0.99, universe=50)
+    universe = {zipf.key_of(r) for r in range(50)}
+    rng = random.Random(1)
+    assert all(zipf.draw(rng) in universe for _ in range(2000))
+
+
+def test_trace_keys_cycle_without_rng():
+    trace = TraceKeys([11, 22, 33])
+    rng = random.Random(5)
+    state = rng.getstate()
+    drawn = [trace.draw(rng) for _ in range(7)]
+    assert drawn == [11, 22, 33, 11, 22, 33, 11]
+    assert rng.getstate() == state  # consumed no randomness
+
+
+# -- arrival shapes ------------------------------------------------------------
+
+
+def test_spike_shape_window_and_multiplier():
+    shape = SpikeShape(start=100.0, duration=50.0, factor=8.0)
+    assert shape.multiplier(99.9) == 1.0
+    assert shape.multiplier(100.0) == 8.0
+    assert shape.multiplier(149.9) == 8.0
+    assert shape.multiplier(150.0) == 1.0
+    assert shape.window() == (100.0, 150.0)
+
+
+def test_ramp_shape_is_linear():
+    shape = RampShape(start=0.0, end=100.0, factor=4.0)
+    assert shape.multiplier(0.0) == 1.0
+    assert shape.multiplier(50.0) == pytest.approx(2.5)
+    assert shape.multiplier(100.0) == 4.0
+
+
+def test_diurnal_shape_oscillates_with_period():
+    shape = DiurnalShape(period=100.0, amplitude=0.6)
+    values = [shape.multiplier(t) for t in range(0, 100, 5)]
+    assert max(values) == pytest.approx(1.6, abs=0.05)
+    assert min(values) >= 0.05
+    assert shape.multiplier(0.0) == pytest.approx(shape.multiplier(100.0))
+    assert shape.window() is None
+
+
+def test_constant_shape_is_stationary():
+    shape = ConstantShape()
+    assert shape.multiplier(0.0) == shape.multiplier(1e6) == 1.0
+    assert shape.window() is None
+
+
+def test_overload_shape_placement():
+    spike = overload_shape("spike", duration_s=600.0, warmup_s=60.0)
+    t0, t1 = spike.window()
+    assert 60.0 < t0 < t1 <= 600.0
+    with pytest.raises(ValueError, match="unknown overload"):
+        overload_shape("tsunami", 600.0, 60.0)
+
+
+def test_build_generator_validates_presets():
+    with pytest.raises(ValueError, match="unknown workload"):
+        build_generator("pareto", "none", BITS, 8.0, 600.0, 60.0)
+
+
+def test_generator_rate_modulation():
+    """Mean inter-arrival shrinks by the shape factor inside the spike."""
+    gen = LookupGenerator(
+        UniformKeys(BITS), SpikeShape(100.0, 50.0, 8.0), mean_interval_s=8.0
+    )
+    rng = random.Random(0)
+    n = 4000
+    pre = sum(gen.next_delay(rng, 10.0, 100) for _ in range(n)) / n
+    dur = sum(gen.next_delay(rng, 120.0, 100) for _ in range(n)) / n
+    assert pre == pytest.approx(8.0 / 100, rel=0.1)
+    assert dur == pytest.approx(8.0 / 100 / 8.0, rel=0.1)
+    assert math.isfinite(pre) and math.isfinite(dur)
